@@ -1,0 +1,84 @@
+//! The Figure 13 system-footprint model: machines needed to sustain TP8
+//! latency as the expert count grows.
+//!
+//! Sustaining TP8 latency on a DGX requires *eliminating host-DRAM expert
+//! copies*, i.e. every expert resident in GPU HBM — so DGX nodes scale
+//! with aggregate HBM. The SN40L's DDR-to-HBM switch is fast enough to be
+//! inside the latency budget, so one node serves experts up to its DDR
+//! capacity (850 Llama2-7B experts; §VI-B).
+
+use sn_arch::{Bytes, DgxSpec, NodeSpec};
+
+/// DGX nodes needed to hold `experts` of `expert_bytes` each in HBM.
+pub fn dgx_nodes_needed(dgx: &DgxSpec, experts: usize, expert_bytes: Bytes) -> usize {
+    if experts == 0 {
+        return 0;
+    }
+    let per_node = (dgx.hbm_for_experts().as_f64() / expert_bytes.as_f64()).floor() as usize;
+    assert!(per_node > 0, "an expert must fit one node's HBM");
+    experts.div_ceil(per_node)
+}
+
+/// SN40L nodes needed to hold `experts` in accelerator-local DDR.
+pub fn sn40l_nodes_needed(node: &NodeSpec, experts: usize, expert_bytes: Bytes) -> usize {
+    if experts == 0 {
+        return 0;
+    }
+    let per_node = (node.ddr_capacity().as_f64() / expert_bytes.as_f64()).floor() as usize;
+    assert!(per_node > 0, "an expert must fit one node's DDR");
+    experts.div_ceil(per_node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXPERT: f64 = 13.48;
+
+    #[test]
+    fn sn40l_serves_850_experts_on_one_node() {
+        let node = NodeSpec::sn40l_node();
+        assert_eq!(sn40l_nodes_needed(&node, 850, Bytes::from_gb(EXPERT)), 1);
+    }
+
+    #[test]
+    fn dgx_needs_19_nodes_at_850_experts() {
+        // §VI-B / Figure 13: "Achieving this with DGX would need 19 DGX
+        // nodes to hold all experts in HBM."
+        let dgx = DgxSpec::dgx_a100();
+        let nodes = dgx_nodes_needed(&dgx, 850, Bytes::from_gb(EXPERT));
+        assert!((18..=20).contains(&nodes), "got {nodes}");
+    }
+
+    #[test]
+    fn footprint_ratio_is_about_19x() {
+        let dgx = DgxSpec::dgx_a100();
+        let node = NodeSpec::sn40l_node();
+        let e = Bytes::from_gb(EXPERT);
+        let ratio = dgx_nodes_needed(&dgx, 850, e) / sn40l_nodes_needed(&node, 850, e);
+        assert!((18..=20).contains(&ratio), "footprint reduction {ratio}x (paper: up to 19x)");
+    }
+
+    #[test]
+    fn footprints_grow_monotonically() {
+        let dgx = DgxSpec::dgx_h100();
+        let node = NodeSpec::sn40l_node();
+        let e = Bytes::from_gb(EXPERT);
+        let mut last_dgx = 0;
+        let mut last_sn = 0;
+        for n in [1, 10, 50, 100, 150, 300, 500, 850] {
+            let d = dgx_nodes_needed(&dgx, n, e);
+            let s = sn40l_nodes_needed(&node, n, e);
+            assert!(d >= last_dgx && s >= last_sn);
+            assert!(d >= s);
+            last_dgx = d;
+            last_sn = s;
+        }
+    }
+
+    #[test]
+    fn zero_experts_need_zero_nodes() {
+        assert_eq!(dgx_nodes_needed(&DgxSpec::dgx_a100(), 0, Bytes::from_gb(EXPERT)), 0);
+        assert_eq!(sn40l_nodes_needed(&NodeSpec::sn40l_node(), 0, Bytes::from_gb(EXPERT)), 0);
+    }
+}

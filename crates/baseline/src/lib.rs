@@ -1,0 +1,22 @@
+//! Analytical DGX A100 / H100 baselines (§VI-B).
+//!
+//! The paper estimates DGX latencies from published model-latency numbers
+//! and DGX specs rather than measuring them; this crate follows the same
+//! methodology, executing the *same dataflow graphs* as the RDU path but
+//! under conventional-GPU constraints:
+//!
+//! - [`partition`]: restricted operator fusion — an optional GEMM anchor
+//!   plus a short elementwise epilogue; data-reordering operators break
+//!   fusion and materialize (§III-A), and at most a handful of operators
+//!   fuse per kernel (§VIII-3);
+//! - [`exec`]: roofline kernel timing with per-kernel launch overheads
+//!   (CUDA-graph launch mode available) and NVLink collectives;
+//! - [`footprint`]: the Figure 13 system-footprint model.
+
+pub mod exec;
+pub mod footprint;
+pub mod partition;
+
+pub use exec::{GpuExecutor, GpuReport, LaunchMode};
+pub use footprint::{dgx_nodes_needed, sn40l_nodes_needed};
+pub use partition::gpu_partition;

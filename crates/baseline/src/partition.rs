@@ -1,0 +1,139 @@
+//! Conventional-GPU operator fusion (§III-A, §VIII-3).
+//!
+//! GPU fusion engines attach elementwise prologues/epilogues (and a
+//! row-local epilogue like softmax or a norm) to a GEMM anchor, but:
+//!
+//! - a data-reordering operator (transpose, reshape across the fast axis,
+//!   gather, concat) ends the kernel — its output materializes to HBM
+//!   because threads must exchange data across SMs (§III-A);
+//! - at most [`sn_arch::GpuSpec::max_fused_ops`] operators share a kernel
+//!   ("conventional operator fusion targets 1-5 operators", §VIII-3);
+//! - a second GEMM never joins an existing kernel;
+//! - collectives (NCCL) are separate launches.
+
+use sn_dataflow::intensity::KernelPartition;
+use sn_dataflow::{AccessPattern, Graph, NodeId};
+
+/// Partitions a graph under conventional GPU fusion rules.
+pub fn gpu_partition(graph: &Graph, max_fused_ops: usize) -> KernelPartition {
+    assert!(max_fused_ops >= 1);
+    fn flush(kernels: &mut KernelPartition, current: &mut Vec<NodeId>) {
+        if !current.is_empty() {
+            kernels.push(std::mem::take(current));
+        }
+    }
+    let mut kernels: KernelPartition = Vec::new();
+    let mut current: Vec<NodeId> = Vec::new();
+    for nid in graph.node_ids() {
+        let node = graph.node(nid);
+        match node.op.access_pattern() {
+            AccessPattern::Reorder | AccessPattern::Collective => {
+                // Ends any open kernel and stands alone.
+                flush(&mut kernels, &mut current);
+                kernels.push(vec![nid]);
+            }
+            AccessPattern::Contraction => {
+                // A GEMM starts a fresh kernel.
+                flush(&mut kernels, &mut current);
+                current.push(nid);
+            }
+            AccessPattern::Streaming | AccessPattern::RowLocal => {
+                // Epilogue fusion — but only onto a kernel whose producer
+                // is actually in the kernel (no horizontal fusion), and
+                // only up to the operator limit.
+                let producer_inside = node
+                    .inputs
+                    .iter()
+                    .filter_map(|&t| graph.producer(t))
+                    .any(|p| current.contains(&p));
+                if !current.is_empty() && producer_inside && current.len() < max_fused_ops {
+                    current.push(nid);
+                } else {
+                    flush(&mut kernels, &mut current);
+                    current.push(nid);
+                }
+            }
+        }
+    }
+    flush(&mut kernels, &mut current);
+    kernels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sn_dataflow::intensity::is_valid_partition;
+    use sn_dataflow::monarch::monarch_fig3;
+    use sn_models::{build, Phase, TransformerConfig};
+
+    #[test]
+    fn transposes_break_gpu_fusion() {
+        // Figure 3: the GPU cannot fuse across the Transpose, so the graph
+        // needs several kernels where the RDU needs one.
+        let g = monarch_fig3();
+        let p = gpu_partition(&g, 5);
+        assert!(p.len() >= 4, "got {} kernels", p.len());
+        assert!(is_valid_partition(&g, &p));
+    }
+
+    #[test]
+    fn epilogues_attach_to_gemms() {
+        // gemm -> mul(twiddle) stays together; cast prologue does not
+        // retroactively join.
+        let g = monarch_fig3();
+        let p = gpu_partition(&g, 5);
+        let has_fused_pair = p.iter().any(|k| {
+            k.len() == 2
+                && g.node(k[0]).op.is_gemm()
+                && !g.node(k[1]).op.is_gemm()
+        });
+        assert!(has_fused_pair, "twiddle mul should fuse onto gemm0");
+    }
+
+    #[test]
+    fn gpu_needs_many_more_kernels_than_rdu_for_llama() {
+        let cfg = TransformerConfig::llama2_7b();
+        let g = build(&cfg, Phase::Decode { past_tokens: 4096 }, 1, 8).unwrap();
+        let p = gpu_partition(&g, 5);
+        // RDU fuses a layer into ~1 kernel; the GPU needs an order of
+        // magnitude more.
+        assert!(p.len() > 10 * (cfg.layers + 2), "got {}", p.len());
+        assert!(is_valid_partition(&g, &p));
+    }
+
+    #[test]
+    fn op_limit_is_respected() {
+        let cfg = TransformerConfig::llama2_7b();
+        let g = build(&cfg, Phase::Prefill { prompt_tokens: 1024 }, 1, 8).unwrap();
+        for k in gpu_partition(&g, 5) {
+            assert!(k.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn gpu_kernels_average_under_5_ops_rdu_over_20() {
+        // §VIII-3: "conventional operator fusion targets 1-5 operators"
+        // while "streaming dataflow pipelines ... commonly contain 20+
+        // operators".
+        let cfg = TransformerConfig::llama2_7b();
+        let g = build(&cfg, Phase::Decode { past_tokens: 4096 }, 1, 8).unwrap();
+        let gpu = gpu_partition(&g, 5);
+        let gpu_avg = g.node_count() as f64 / gpu.len() as f64;
+        assert!(gpu_avg < 5.0, "GPU avg ops/kernel {gpu_avg:.1}");
+        use sn_compiler::{Compiler, FusionPolicy};
+        let compiler = Compiler::new(
+            sn_arch::SocketSpec::sn40l(),
+            sn_arch::Calibration::baseline(),
+        );
+        let exe = compiler.compile(&g, FusionPolicy::Spatial).unwrap();
+        let rdu_avg = g.node_count() as f64 / exe.kernel_count() as f64;
+        assert!(rdu_avg > 20.0, "RDU avg ops/kernel {rdu_avg:.1}");
+    }
+
+    #[test]
+    fn limit_one_means_fully_unfused() {
+        let g = monarch_fig3();
+        let p = gpu_partition(&g, 1);
+        assert_eq!(p.len(), g.node_count());
+    }
+}

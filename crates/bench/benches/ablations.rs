@@ -1,0 +1,46 @@
+//! Ablation bench: prints the design-choice comparisons once, then times
+//! the underlying simulators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sn_bench::ablations;
+use sn_rdusim::pipeline::{PipelineSim, Stage};
+use sn_rdusim::rdn::{Coord, Flow, FlowIdMode, NetConfig, NetSim};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for a in ablations::all() {
+        println!(
+            "ablation: {:<46} with {:>10.4}  without {:>10.4}  ({:.2}x, {})",
+            a.name,
+            a.with_feature,
+            a.without_feature,
+            a.factor(),
+            a.unit
+        );
+    }
+
+    let mut g = c.benchmark_group("simulators");
+    g.sample_size(20);
+    g.bench_function("rdn_crossing_flows", |b| {
+        let sim = NetSim::new(NetConfig { flow_mode: FlowIdMode::Mpls, ..NetConfig::default() });
+        let flows: Vec<Flow> = (0..6)
+            .map(|i| Flow::unicast(Coord::new(0, i), Coord::new(7, 5 - i), 40))
+            .collect();
+        b.iter(|| black_box(sim.run(black_box(&flows))))
+    });
+    g.bench_function("pipeline_sim_1k_tiles", |b| {
+        let sim = PipelineSim::new(vec![
+            Stage::new("gemm0", 4, 2),
+            Stage::new("mul", 1, 2),
+            Stage::new("gemm1", 4, 2),
+        ]);
+        b.iter(|| black_box(sim.run(black_box(1000))))
+    });
+    g.bench_function("ablation_expert_cache", |b| {
+        b.iter(|| black_box(ablations::expert_cache()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

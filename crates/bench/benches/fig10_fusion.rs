@@ -1,0 +1,49 @@
+//! Figure 10/11 bench: prints the fusion-speedup series once, then times
+//! compilation (the fusion + estimate pipeline) for representative
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sn_arch::{Calibration, SocketSpec};
+use sn_bench::experiments;
+use sn_compiler::{Compiler, FusionPolicy};
+use sn_models::{build, Phase, TransformerConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for r in experiments::fig10() {
+        println!(
+            "fig10: {:<28} fusion {:>6.2}x  ho {:>6.2}x  kernel-ratio {:>6.1}x",
+            r.name, r.fusion_speedup, r.ho_speedup, r.kernel_ratio
+        );
+    }
+    let compiler = Compiler::new(SocketSpec::sn40l(), Calibration::baseline());
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    let prefill = build(
+        &TransformerConfig::llama2_7b(),
+        Phase::Prefill { prompt_tokens: 4096 },
+        1,
+        8,
+    )
+    .expect("prefill builds");
+    g.bench_function("compile_llama7b_prefill_fused", |b| {
+        b.iter(|| black_box(compiler.compile(black_box(&prefill), FusionPolicy::Spatial)))
+    });
+    g.bench_function("compile_llama7b_prefill_unfused", |b| {
+        b.iter(|| black_box(compiler.compile(black_box(&prefill), FusionPolicy::Unfused)))
+    });
+    let decode = build(
+        &TransformerConfig::llama2_7b(),
+        Phase::Decode { past_tokens: 4096 },
+        1,
+        8,
+    )
+    .expect("decode builds");
+    g.bench_function("compile_llama7b_decode_fused", |b| {
+        b.iter(|| black_box(compiler.compile(black_box(&decode), FusionPolicy::Spatial)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 12/13 and Tables I/III bench: prints the latency-vs-expert-count
+//! series once, then times the comparison-model sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sn_bench::experiments;
+use sn_coe::comparison::{ComparisonModel, Platform};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for batch in [8usize, 1] {
+        for p in experiments::fig12(batch) {
+            let fmt = |t: Option<sn_arch::TimeSecs>| {
+                t.map(|t| t.to_string()).unwrap_or_else(|| "OOM".to_string())
+            };
+            println!(
+                "fig12 bs{batch}: {:>4} experts  sn40l {:>12}  a100 {:>12}  h100 {:>12}",
+                p.experts,
+                fmt(p.sn40l),
+                fmt(p.dgx_a100),
+                fmt(p.dgx_h100)
+            );
+        }
+    }
+    for r in experiments::table3() {
+        println!(
+            "table3: {:<44} A {:>5.1}x (paper {:>4.1}x)  H {:>5.1}x (paper {:>4.1}x)",
+            r.metric, r.vs_a100, r.paper_a100, r.vs_h100, r.paper_h100
+        );
+    }
+    for (n, sn, a, h) in experiments::fig13() {
+        println!("fig13: {n:>4} experts -> sn40l {sn}, dgx-a100 {a}, dgx-h100 {h}");
+    }
+
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("comparison_model_build", |b| {
+        b.iter(|| black_box(ComparisonModel::new(1024)))
+    });
+    let model = ComparisonModel::new(1024);
+    g.bench_function("latency_sweep_850", |b| {
+        b.iter(|| {
+            for n in 1..=850usize {
+                for p in Platform::ALL {
+                    black_box(model.request_latency(p, black_box(n), 8, 20));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table I bench: operational-intensity analysis of the Monarch FFT
+//! example. Prints the table once, then times the analysis pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sn_bench::experiments;
+use sn_dataflow::intensity::fusion_levels;
+use sn_dataflow::monarch::{flash_fft_conv, monarch_fig3};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Emit the reproduced table alongside the timing run.
+    for row in experiments::table1() {
+        println!("table1: {:<28} paper {:>7.1}  measured {:>7.1}", row.level, row.paper, row.measured);
+    }
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("fusion_levels_fig3", |b| {
+        let graph = monarch_fig3();
+        b.iter(|| black_box(fusion_levels(black_box(&graph))))
+    });
+    g.bench_function("fusion_levels_fftconv_3lvl", |b| {
+        let graph = flash_fft_conv(8, 32, 3);
+        b.iter(|| black_box(fusion_levels(black_box(&graph))))
+    });
+    g.bench_function("build_fig3_graph", |b| b.iter(|| black_box(monarch_fig3())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

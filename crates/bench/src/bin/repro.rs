@@ -1,0 +1,216 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|all]
+//! ```
+
+use sn_bench::ablations;
+use sn_bench::experiments::{self, PROMPT_TOKENS};
+use sn_coe::comparison::Platform;
+
+fn hr(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+fn table1() {
+    hr("TABLE I: Operational intensity vs fusion level (Monarch FFT, Fig. 3)");
+    println!("{:<28} {:>12} {:>12}", "Fusion Level", "Paper", "Measured");
+    for r in experiments::table1() {
+        println!("{:<28} {:>12.1} {:>12.1}", r.level, r.paper, r.measured);
+    }
+    println!("(ops/byte; regimes: <150 memory-bound on A100, >150 compute-bound)");
+}
+
+fn table2() {
+    hr("TABLE II: Benchmarks");
+    println!("{:<28} {:>10} {:>14} {:>10}", "Benchmark", "Params(B)", "Phase", "Seq");
+    for (name, params, phase, seq) in experiments::table2_rows() {
+        let p = if params == 0.0 { "-".to_string() } else { format!("{params:.1}") };
+        println!("{name:<28} {p:>10} {phase:>14} {seq:>10}");
+    }
+}
+
+fn fig1() {
+    hr("FIGURE 1: CoE latency breakdown, 20 output tokens, 150 experts, BS=1");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "Platform", "Router", "Switching", "Prefill", "Decode", "Total", "Switch%"
+    );
+    for (p, b) in experiments::fig1() {
+        println!(
+            "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>7.1}%",
+            p.name(),
+            b.router.to_string(),
+            b.switching.to_string(),
+            b.prefill.to_string(),
+            b.decode.to_string(),
+            b.total().to_string(),
+            100.0 * b.switching_fraction()
+        );
+    }
+}
+
+fn fig10() {
+    hr("FIGURE 10: Speedup over unfused baseline (8 SN40L sockets)");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "Benchmark", "Unfused+SO", "Fused+SO", "Fused+HO", "SO spdup", "HO spdup"
+    );
+    for r in experiments::fig10() {
+        println!(
+            "{:<28} {:>12} {:>12} {:>12} {:>9.2}x {:>9.2}x",
+            r.name,
+            r.unfused_so.to_string(),
+            r.fused_so.to_string(),
+            r.fused_ho.to_string(),
+            r.fusion_speedup,
+            r.ho_speedup
+        );
+    }
+    println!("(paper: fusion 1.5x-3x prefill/train, up to 13x decode/FFT; HO adds");
+    println!(" 1.4x-8x on decode, <=1.1x on prefill/train)");
+}
+
+fn fig11() {
+    hr("FIGURE 11: Kernel-call ratio, unfused / fused");
+    println!("{:<28} {:>10}", "Benchmark", "Ratio");
+    for (name, ratio) in experiments::fig11() {
+        println!("{name:<28} {ratio:>9.1}x");
+    }
+    println!("(paper example: llama7B-4k-inf-prefill = 11x)");
+}
+
+fn fig12() {
+    for (batch, tag) in [(8usize, "a"), (1usize, "b")] {
+        hr(&format!(
+            "FIGURE 12{tag}: CoE latency vs expert count (BS={batch}, TP8, 20 tokens, \
+             prompt {PROMPT_TOKENS})"
+        ));
+        println!(
+            "{:<10} {:>14} {:>14} {:>14}",
+            "Experts", "SN40L", "DGX A100", "DGX H100"
+        );
+        let fmt = |t: Option<sn_arch::TimeSecs>| match t {
+            Some(t) => t.to_string(),
+            None => "OOM".to_string(),
+        };
+        for p in experiments::fig12(batch) {
+            println!(
+                "{:<10} {:>14} {:>14} {:>14}",
+                p.experts,
+                fmt(p.sn40l),
+                fmt(p.dgx_a100),
+                fmt(p.dgx_h100)
+            );
+        }
+    }
+}
+
+fn fig13() {
+    hr("FIGURE 13: System footprint to sustain TP8 latency");
+    println!(
+        "{:<10} {:>14} {:>16} {:>16}",
+        "Experts", "SN40L nodes", "DGX A100 nodes", "DGX H100 nodes"
+    );
+    for (n, sn, a, h) in experiments::fig13() {
+        println!("{n:<10} {sn:>14} {a:>16} {h:>16}");
+    }
+    println!("(paper: 1 SN40L node serves 850 experts; DGX needs 19 nodes — 19x footprint)");
+}
+
+fn table3() {
+    hr("TABLE III: Samba-CoE performance comparison (150 experts)");
+    println!(
+        "{:<44} {:>8} {:>8} {:>8} {:>8}",
+        "Metric", "PaperA", "OursA", "PaperH", "OursH"
+    );
+    for r in experiments::table3() {
+        println!(
+            "{:<44} {:>7.1}x {:>7.1}x {:>7.1}x {:>7.1}x",
+            r.metric, r.paper_a100, r.vs_a100, r.paper_h100, r.vs_h100
+        );
+    }
+    println!("\n> 150 Experts:");
+    for (p, max) in experiments::oom_experts() {
+        println!("  {:<12} holds at most {max} experts", p.name());
+    }
+    let _ = Platform::ALL;
+}
+
+fn extensions() {
+    hr("EXTENSION: INT8-quantized experts double every capacity boundary");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14}",
+        "Platform", "HBM bf16", "HBM int8", "Max bf16", "Max int8"
+    );
+    for (name, rb, ri, mb, mi) in sn_bench::experiments::quantization_extension() {
+        println!("{name:<12} {rb:>14} {ri:>14} {mb:>14} {mi:>14}");
+    }
+    println!("(resident experts in HBM / maximum hostable experts per node)");
+
+    hr("EXTENSION: sustained decode throughput (llama2-7b, TP8, KV=2048, BS=1)");
+    println!("{:<12} {:>14}", "Platform", "tokens/sec");
+    for (name, tps) in sn_bench::experiments::throughput_extension() {
+        println!("{name:<12} {tps:>14.0}");
+    }
+
+    hr("EXTENSION: expert miss rate vs node HBM size (skewed drifting trace)");
+    println!("{:<12} {:>12}", "HBM (GiB)", "miss rate");
+    for (gib, miss) in sn_bench::experiments::hbm_sensitivity() {
+        println!("{gib:<12} {:>11.1}%", miss * 100.0);
+    }
+}
+
+fn run_ablations() {
+    hr("ABLATIONS (design choices from DESIGN.md)");
+    println!("{:<46} {:>12} {:>12} {:>8}", "Feature", "With", "Without", "Factor");
+    for a in ablations::all() {
+        println!(
+            "{:<46} {:>12.4} {:>12.4} {:>7.2}x   ({})",
+            a.name,
+            a.with_feature,
+            a.without_feature,
+            a.factor(),
+            a.unit
+        );
+    }
+    assert!(ablations::reorder_smoke(), "sequence-ID reordering smoke check");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig1" => fig1(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig12" => fig12(),
+        "fig13" => fig13(),
+        "table3" => table3(),
+        "ablations" => run_ablations(),
+        "extensions" => extensions(),
+        "all" => {
+            table1();
+            table2();
+            fig1();
+            fig10();
+            fig11();
+            fig12();
+            fig13();
+            table3();
+            extensions();
+            run_ablations();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of table1|table2|fig1|fig10|\
+                 fig11|fig12|fig13|table3|ablations|extensions|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each function in [`experiments`] computes the data series behind one
+//! exhibit; the `repro` binary formats them, and the Criterion benches
+//! under `benches/` time the underlying library operations. Ablations for
+//! the design choices called out in DESIGN.md live in [`ablations`].
+
+pub mod ablations;
+pub mod experiments;
+pub mod validate;
+
+pub use experiments::{fig1, fig10, fig11, fig12, fig13, table1, table2_rows, table3};

@@ -1,0 +1,125 @@
+//! Cross-validation between the compiler's *static* models and the
+//! cycle-level simulators in `sn-rdusim` (§VII: the "static bandwidth
+//! model" is trusted because it agrees with reality to first order — here
+//! the executable simulators play the role of reality).
+
+use sn_arch::SocketSpec;
+use sn_compiler::{Kernel, Placer};
+use sn_dataflow::Graph;
+use sn_rdusim::pipeline::{PipelineSim, Stage};
+use sn_rdusim::rdn::{Coord, Flow, NetConfig, NetSim};
+
+/// Builds a [`PipelineSim`] stage chain from a compiled kernel: one stage
+/// per compute op, service time proportional to its share of the kernel's
+/// work, double-buffered.
+pub fn kernel_to_pipeline(graph: &Graph, kernel: &Kernel) -> PipelineSim {
+    let mut stages = Vec::new();
+    for &nid in &kernel.nodes {
+        let node = graph.node(nid);
+        let flops = graph.node_flops(nid).as_f64();
+        if flops <= 0.0 {
+            continue; // reorders fold into buffers
+        }
+        // Service cycles per tile: normalize so the busiest stage is ~64
+        // cycles; what matters to the model is the *ratio* between stages.
+        stages.push((node.name.clone(), flops));
+    }
+    if stages.is_empty() {
+        stages.push(("identity".to_string(), 1.0));
+    }
+    let max = stages.iter().map(|(_, f)| *f).fold(0.0f64, f64::max);
+    let sim_stages: Vec<Stage> = stages
+        .into_iter()
+        .map(|(name, f)| Stage::new(name, ((f / max) * 64.0).ceil().max(1.0) as u64, 2))
+        .collect();
+    PipelineSim::new(sim_stages)
+}
+
+/// Relative error between the static pipeline prediction and the
+/// cycle-level simulation of the same stage chain over `tiles` tiles.
+pub fn pipeline_model_error(graph: &Graph, kernel: &Kernel, tiles: u64) -> f64 {
+    let sim = kernel_to_pipeline(graph, kernel);
+    let simulated = sim.run(tiles).total.as_u64() as f64;
+    let predicted = sim.predicted_cycles(tiles).as_u64() as f64;
+    (simulated - predicted).abs() / predicted
+}
+
+/// Converts a placed kernel's inter-stage edges into RDN flows and runs
+/// the network simulator, returning `(cycles, stall_cycles)` — evidence
+/// that snake placement keeps fused pipelines routable.
+pub fn route_kernel_on_mesh(graph: &Graph, kernel: &Kernel) -> (u64, u64) {
+    let socket = SocketSpec::sn40l();
+    let placer = Placer::new(socket.chip.tile);
+    let report = placer.place(graph, kernel);
+    // One flow per pipeline hop; put sources along column 0 and sinks at
+    // increasing offsets scaled by the placement's average hop distance.
+    let hops = report.avg_hops.ceil().max(1.0) as usize;
+    let stages = kernel.resources.stages.clamp(2, 7);
+    let sim = NetSim::new(NetConfig::default());
+    let flows: Vec<Flow> = (0..stages - 1)
+        .map(|i| {
+            Flow::unicast(
+                Coord::new((i * hops) % 7, i % 8),
+                Coord::new(((i + 1) * hops) % 8, (i + 1) % 8),
+                32,
+            )
+        })
+        .collect();
+    let stats = sim.run(&flows);
+    (stats.cycles, stats.stall_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sn_arch::Calibration;
+    use sn_compiler::{Compiler, FusionPolicy};
+    use sn_models::{build, Phase, TransformerConfig};
+
+    fn fused_decode_kernel() -> (Graph, Kernel) {
+        let cfg = TransformerConfig::llama2_7b();
+        let g = build(&cfg, Phase::Decode { past_tokens: 2048 }, 1, 8).unwrap();
+        let compiler = Compiler::new(SocketSpec::sn40l(), Calibration::baseline());
+        let exe = compiler.compile(&g, FusionPolicy::Spatial).unwrap();
+        // Pick a mid-stack layer kernel (a full decoder layer).
+        let kernel = exe.kernels()[exe.kernel_count() / 2].clone();
+        (g, kernel)
+    }
+
+    #[test]
+    fn static_pipeline_model_matches_simulation_within_15_percent() {
+        let (g, kernel) = fused_decode_kernel();
+        let err = pipeline_model_error(&g, &kernel, 256);
+        assert!(err < 0.15, "static model error {:.1}%", err * 100.0);
+    }
+
+    #[test]
+    fn model_error_shrinks_with_more_tiles() {
+        // Fill amortizes: long streams converge to the bottleneck rate.
+        let (g, kernel) = fused_decode_kernel();
+        let short = pipeline_model_error(&g, &kernel, 16);
+        let long = pipeline_model_error(&g, &kernel, 1024);
+        assert!(long <= short + 0.02, "short {short:.3}, long {long:.3}");
+    }
+
+    #[test]
+    fn placed_kernels_route_without_pathologies() {
+        let (g, kernel) = fused_decode_kernel();
+        let (cycles, stalls) = route_kernel_on_mesh(&g, &kernel);
+        assert!(cycles > 0);
+        // Neighbor-to-neighbor pipeline traffic should be nearly stall-free.
+        assert!(
+            (stalls as f64) < (cycles as f64) * 2.0,
+            "stalls {stalls} vs cycles {cycles}"
+        );
+    }
+
+    #[test]
+    fn fft_kernel_pipeline_also_validates() {
+        let g = sn_dataflow::monarch::flash_fft_conv(4, 32, 3);
+        let compiler = Compiler::new(SocketSpec::sn40l(), Calibration::baseline());
+        let exe = compiler.compile(&g, FusionPolicy::Spatial).unwrap();
+        let err = pipeline_model_error(&g, &exe.kernels()[0], 256);
+        assert!(err < 0.15, "FFT kernel error {:.1}%", err * 100.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Multi-node CoE serving: scale a composition past one node's DDR.
+//!
+//! The paper deploys 150 experts on one SN40L node and shows a single node
+//! holds up to 850; beyond that (or for throughput), a deployment shards
+//! the expert library across nodes. Each expert lives on exactly one node
+//! (its DDR home); requests are routed to the owning node, and nodes serve
+//! their shares concurrently — batch latency is the busiest node's time.
+
+use crate::expert::ExpertLibrary;
+use crate::router::{Prompt, Router};
+use serde::{Deserialize, Serialize};
+use sn_arch::{Calibration, NodeSpec, Orchestration, TimeSecs};
+use sn_compiler::{Compiler, Executable, FusionPolicy};
+use sn_models::{build, Phase};
+use sn_runtime::coe::{CoeError, CoeRuntime, CoeRuntimeConfig, ModelBinary};
+use sn_runtime::executor::NodeExecutor;
+
+/// Result of one batch served by the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Wall time of the batch: the busiest node (nodes run concurrently).
+    pub latency: TimeSecs,
+    /// Per-node busy time (router + switching + execution).
+    pub per_node: Vec<TimeSecs>,
+    /// Prompts served per node.
+    pub prompts_per_node: Vec<usize>,
+    /// Total expert misses across nodes.
+    pub expert_misses: usize,
+}
+
+impl ClusterReport {
+    /// Load imbalance: busiest node time over mean node time (1.0 is
+    /// perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let busy: Vec<f64> =
+            self.per_node.iter().map(|t| t.as_secs()).filter(|&t| t > 0.0).collect();
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        self.latency.as_secs() / mean
+    }
+}
+
+/// A CoE deployment sharded across several SN40L nodes.
+#[derive(Debug)]
+pub struct CoeCluster {
+    library: ExpertLibrary,
+    router: Router,
+    runtimes: Vec<CoeRuntime>,
+    executor: NodeExecutor,
+    prefill_exe: Executable,
+    decode_exe: Executable,
+    router_steps: f64,
+}
+
+impl CoeCluster {
+    /// Builds a cluster of `nodes` SN40L nodes and registers the library
+    /// round-robin across them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`CoeError`] when a node's DDR cannot hold
+    /// its shard (the cluster is undersized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(
+        node: NodeSpec,
+        nodes: usize,
+        library: ExpertLibrary,
+        prompt_tokens: usize,
+    ) -> Result<Self, CoeError> {
+        assert!(nodes >= 1, "a cluster needs at least one node");
+        let calib = Calibration::baseline();
+        let compiler = Compiler::new(node.socket.clone(), calib.clone());
+        let cfg = library.config().clone();
+        let prefill_graph = build(&cfg, Phase::Prefill { prompt_tokens }, 1, node.sockets)
+            .expect("prefill builds");
+        let decode_graph =
+            build(&cfg, Phase::Decode { past_tokens: prompt_tokens }, 1, node.sockets)
+                .expect("decode builds");
+        let prefill_exe =
+            compiler.compile(&prefill_graph, FusionPolicy::Spatial).expect("prefill compiles");
+        let decode_exe =
+            compiler.compile(&decode_graph, FusionPolicy::Spatial).expect("decode compiles");
+        let mut runtimes: Vec<CoeRuntime> =
+            (0..nodes).map(|_| CoeRuntime::new(&node, CoeRuntimeConfig::default())).collect();
+        for (i, e) in library.experts().iter().enumerate() {
+            runtimes[i % nodes]
+                .register(ModelBinary::weights_only(e.name.clone(), library.expert_bytes()))?;
+        }
+        let executor = NodeExecutor::new(node, calib.clone());
+        Ok(CoeCluster {
+            library,
+            router: Router::new(0xc1a5fe2),
+            runtimes,
+            executor,
+            prefill_exe,
+            decode_exe,
+            router_steps: calib.router_equiv_decode_steps,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// The node owning an expert.
+    pub fn owner(&self, expert: usize) -> usize {
+        expert % self.runtimes.len()
+    }
+
+    fn router_time(&self) -> TimeSecs {
+        let prefill = self.executor.run(&self.prefill_exe, Orchestration::Hardware).total;
+        let step = self.executor.run(&self.decode_exe, Orchestration::Hardware).total;
+        prefill + step * self.router_steps
+    }
+
+    fn model_run_time(&self, output_tokens: usize) -> TimeSecs {
+        let prefill = self.executor.run(&self.prefill_exe, Orchestration::Hardware).total;
+        let decode = self
+            .executor
+            .run_decode_loop(&self.decode_exe, Orchestration::Hardware, output_tokens.max(1))
+            .total;
+        prefill + decode
+    }
+
+    /// Serves a batch: the router runs once (replicated on every node);
+    /// prompts then fan out to their experts' home nodes, which execute
+    /// concurrently.
+    pub fn serve_batch(&mut self, prompts: &[Prompt], output_tokens: usize) -> ClusterReport {
+        assert!(!prompts.is_empty(), "empty batch");
+        let nodes = self.runtimes.len();
+        let n_experts = self.library.len();
+        let mut per_node_prompts = vec![0usize; nodes];
+        let mut per_node_switch = vec![TimeSecs::ZERO; nodes];
+        let mut misses = 0;
+        let mut seen = std::collections::HashSet::new();
+        for p in prompts {
+            let e = self.router.route(p, n_experts);
+            let owner = self.owner(e);
+            per_node_prompts[owner] += 1;
+            if seen.insert(e) {
+                let name = self.library.expert(e).name.clone();
+                let outcome =
+                    self.runtimes[owner].activate(&name).expect("expert registered on owner");
+                if !outcome.hit {
+                    misses += 1;
+                }
+                per_node_switch[owner] += outcome.switch_time;
+            }
+        }
+        let router = self.router_time();
+        let run = self.model_run_time(output_tokens);
+        let per_node: Vec<TimeSecs> = (0..nodes)
+            .map(|i| {
+                if per_node_prompts[i] == 0 {
+                    TimeSecs::ZERO
+                } else {
+                    router + per_node_switch[i] + run * per_node_prompts[i] as f64
+                }
+            })
+            .collect();
+        let latency = per_node.iter().copied().fold(TimeSecs::ZERO, TimeSecs::max);
+        ClusterReport { latency, per_node, prompts_per_node: per_node_prompts, expert_misses: misses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::PromptGenerator;
+    use sn_runtime::coe::CoeError;
+
+    #[test]
+    fn cluster_hosts_experts_beyond_one_node() {
+        // 2000 experts (> 979 per node) across three nodes.
+        let cluster = CoeCluster::new(
+            NodeSpec::sn40l_node(),
+            3,
+            ExpertLibrary::new(2000),
+            512,
+        );
+        assert!(cluster.is_ok());
+    }
+
+    #[test]
+    fn undersized_cluster_errors() {
+        let err = CoeCluster::new(
+            NodeSpec::sn40l_node(),
+            2,
+            ExpertLibrary::new(2000),
+            512,
+        );
+        assert!(matches!(err, Err(CoeError::DdrFull(_))), "1000 experts/node exceeds DDR");
+    }
+
+    #[test]
+    fn batches_fan_out_and_run_concurrently() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 4, ExpertLibrary::new(400), 512)
+                .expect("fits");
+        let mut generator = PromptGenerator::new(17, 512);
+        let batch = generator.batch(16);
+        let report = cluster.serve_batch(&batch, 10);
+        let used_nodes = report.prompts_per_node.iter().filter(|&&n| n > 0).count();
+        assert!(used_nodes >= 2, "16 prompts should spread over nodes");
+        assert_eq!(report.prompts_per_node.iter().sum::<usize>(), 16);
+        // Concurrency: wall latency is below the serial sum of node times.
+        let serial: TimeSecs = report.per_node.iter().copied().sum();
+        assert!(report.latency < serial);
+    }
+
+    #[test]
+    fn more_nodes_cut_batch_latency() {
+        let mut one =
+            CoeCluster::new(NodeSpec::sn40l_node(), 1, ExpertLibrary::new(400), 512)
+                .expect("fits");
+        let mut four =
+            CoeCluster::new(NodeSpec::sn40l_node(), 4, ExpertLibrary::new(400), 512)
+                .expect("fits");
+        let batch = PromptGenerator::new(23, 512).batch(16);
+        let t1 = one.serve_batch(&batch, 10).latency;
+        let t4 = four.serve_batch(&batch, 10).latency;
+        let speedup = t1 / t4;
+        assert!(speedup > 1.5, "4 nodes should beat 1: {speedup:.2}x");
+    }
+
+    #[test]
+    fn experts_are_owned_round_robin() {
+        let cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(30), 512)
+                .expect("fits");
+        assert_eq!(cluster.owner(0), 0);
+        assert_eq!(cluster.owner(1), 1);
+        assert_eq!(cluster.owner(5), 2);
+        assert_eq!(cluster.nodes(), 3);
+    }
+}

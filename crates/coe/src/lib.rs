@@ -1,0 +1,38 @@
+//! Samba-CoE: a trillion-parameter Composition of Experts (§II, §V, §VI-B).
+//!
+//! - [`expert`]: the expert library — 150 Llama2-7B-class specialists
+//!   summing to over a trillion parameters;
+//! - [`router`]: deterministic prompt generation and routing (the router
+//!   is itself a Llama2-7B-class model; its *quality* is irrelevant to the
+//!   systems evaluation, so routing is a seeded hash over prompt domains);
+//! - [`serving`]: the end-to-end pipeline on the SN40L node — run the
+//!   router, switch the expert DDR→HBM, run the expert (Figure 9);
+//! - [`comparison`]: latency and breakdown models for SN40L vs DGX
+//!   A100/H100 (Figures 1 and 12, Table III).
+//!
+//! # Example
+//!
+//! ```
+//! use sn_coe::expert::ExpertLibrary;
+//!
+//! let lib = ExpertLibrary::samba_coe_150();
+//! assert_eq!(lib.len(), 150);
+//! // §I: "a CoE system with 150 experts and a trillion total parameters".
+//! assert!(lib.total_params() > 1_000_000_000_000);
+//! ```
+
+pub mod cluster;
+pub mod comparison;
+pub mod expert;
+pub mod generation;
+pub mod router;
+pub mod serving;
+pub mod workload;
+
+pub use cluster::{CoeCluster, ClusterReport};
+pub use comparison::{request_latency, LatencyBreakdown, Platform};
+pub use expert::{ExpertInfo, ExpertLibrary};
+pub use generation::GenerationModel;
+pub use router::{Domain, Prompt, PromptGenerator, Router};
+pub use serving::{SambaCoeNode, ServeReport};
+pub use workload::{TraceConfig, TraceGenerator};

@@ -1,0 +1,96 @@
+//! Graphviz DOT export for dataflow graphs.
+//!
+//! Useful when inspecting what the model builders emit and how the fusion
+//! pass partitions it: `dot -Tsvg graph.dot -o graph.svg`.
+
+use crate::graph::{Graph, NodeId};
+use crate::op::AccessPattern;
+use std::fmt::Write as _;
+
+/// Renders the graph as DOT. When `partition` is given, kernels become
+/// clusters.
+pub fn to_dot(graph: &Graph, partition: Option<&[Vec<NodeId>]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    let color = |n: NodeId| match graph.node(n).op.access_pattern() {
+        AccessPattern::Contraction => "lightsteelblue",
+        AccessPattern::Streaming => "palegreen",
+        AccessPattern::RowLocal => "khaki",
+        AccessPattern::Reorder => "lightsalmon",
+        AccessPattern::Collective => "plum",
+    };
+    let emit_node = |out: &mut String, n: NodeId, indent: &str| {
+        let node = graph.node(n);
+        let _ = writeln!(
+            out,
+            "{indent}{} [label=\"{}\\n{}\", style=filled, fillcolor={}];",
+            n,
+            node.name,
+            graph.tensor(node.output).shape,
+            color(n)
+        );
+    };
+    match partition {
+        Some(kernels) => {
+            for (ki, kernel) in kernels.iter().enumerate() {
+                let _ = writeln!(out, "  subgraph cluster_{ki} {{");
+                let _ = writeln!(out, "    label=\"kernel {ki}\";");
+                for &n in kernel {
+                    emit_node(&mut out, n, "    ");
+                }
+                let _ = writeln!(out, "  }}");
+            }
+        }
+        None => {
+            for n in graph.node_ids() {
+                emit_node(&mut out, n, "  ");
+            }
+        }
+    }
+    for n in graph.node_ids() {
+        for &t in &graph.node(n).inputs {
+            if let Some(p) = graph.producer(t) {
+                let _ = writeln!(out, "  {p} -> {n};");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::contraction_anchored_partition;
+    use crate::monarch::monarch_fig3;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = monarch_fig3();
+        let dot = to_dot(&g, None);
+        assert!(dot.starts_with("digraph"));
+        for n in g.node_ids() {
+            assert!(dot.contains(&format!("{n} [label=")), "missing {n}");
+        }
+        // Five producer->consumer edges in the 6-op chain.
+        assert_eq!(dot.matches(" -> ").count(), 5);
+    }
+
+    #[test]
+    fn partitioned_dot_has_clusters() {
+        let g = monarch_fig3();
+        let p = contraction_anchored_partition(&g);
+        let dot = to_dot(&g, Some(&p));
+        assert_eq!(dot.matches("subgraph cluster_").count(), p.len());
+    }
+
+    #[test]
+    fn dot_is_parseable_shape() {
+        let g = monarch_fig3();
+        let dot = to_dot(&g, None);
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

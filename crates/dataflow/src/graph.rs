@@ -1,0 +1,499 @@
+//! Dataflow graph construction and queries.
+//!
+//! Graphs are built through [`GraphBuilder`], which infers output shapes as
+//! nodes are added and guarantees acyclicity by construction (a node can
+//! only consume tensors that already exist). Insertion order is therefore a
+//! valid topological order, which the compiler relies on.
+
+use crate::dtype::DType;
+use crate::op::{Node, OpKind};
+use crate::shape::Shape;
+use crate::tensor::{TensorDef, TensorId, TensorKind};
+use serde::{Deserialize, Serialize};
+use sn_arch::{Bytes, Flops};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a node within one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operator rejected its input shapes.
+    Shape(String),
+    /// A node referenced a tensor id from a different graph.
+    UnknownTensor(String),
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Shape(m) => write!(f, "shape error: {m}"),
+            GraphError::UnknownTensor(m) => write!(f, "unknown tensor: {m}"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An immutable dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    tensors: Vec<TensorDef>,
+    nodes: Vec<Node>,
+    /// producer node of each tensor (index-aligned with `tensors`).
+    producers: Vec<Option<NodeId>>,
+    /// consumer nodes of each tensor.
+    consumers: Vec<Vec<NodeId>>,
+}
+
+impl Graph {
+    /// The graph's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node ids in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn tensor(&self, id: TensorId) -> &TensorDef {
+        &self.tensors[id.index()]
+    }
+
+    pub fn tensors(&self) -> &[TensorDef] {
+        &self.tensors
+    }
+
+    pub fn tensor_ids(&self) -> impl Iterator<Item = TensorId> + '_ {
+        (0..self.tensors.len() as u32).map(TensorId)
+    }
+
+    /// The node that produces a tensor, if any (graph inputs have none).
+    pub fn producer(&self, id: TensorId) -> Option<NodeId> {
+        self.producers[id.index()]
+    }
+
+    /// The nodes that consume a tensor.
+    pub fn consumers(&self, id: TensorId) -> &[NodeId] {
+        &self.consumers[id.index()]
+    }
+
+    /// FLOPs performed by one node.
+    pub fn node_flops(&self, id: NodeId) -> Flops {
+        let node = self.node(id);
+        let inputs: Vec<&Shape> =
+            node.inputs.iter().map(|&t| &self.tensor(t).shape).collect();
+        let out = self.tensor(node.output);
+        node.op.flops(&inputs, &out.shape, out.dtype)
+    }
+
+    /// Total FLOPs of the whole graph.
+    pub fn total_flops(&self) -> Flops {
+        self.node_ids().map(|n| self.node_flops(n)).sum()
+    }
+
+    /// Bytes read by a node from off-chip-eligible tensors (excludes
+    /// [`TensorKind::Generated`] inputs, which never leave the chip).
+    pub fn node_input_bytes(&self, id: NodeId) -> Bytes {
+        self.node(id)
+            .inputs
+            .iter()
+            .map(|&t| self.tensor(t))
+            .filter(|t| t.is_offchip())
+            .map(|t| t.bytes())
+            .sum()
+    }
+
+    /// Bytes written by a node.
+    pub fn node_output_bytes(&self, id: NodeId) -> Bytes {
+        self.tensor(self.node(id).output).bytes()
+    }
+
+    /// Total bytes of all [`TensorKind::Weight`] tensors — the model's
+    /// parameter footprint.
+    pub fn weight_bytes(&self) -> Bytes {
+        self.tensors
+            .iter()
+            .filter(|t| t.kind == TensorKind::Weight)
+            .map(|t| t.bytes())
+            .sum()
+    }
+
+    /// Total bytes of all [`TensorKind::KvCache`] tensors.
+    pub fn kv_cache_bytes(&self) -> Bytes {
+        self.tensors
+            .iter()
+            .filter(|t| t.kind == TensorKind::KvCache)
+            .map(|t| t.bytes())
+            .sum()
+    }
+
+    /// Tensors that cross the graph boundary as inputs: graph [`TensorKind::Input`],
+    /// weights, metadata, and KV caches read by some node but produced by none.
+    pub fn external_inputs(&self) -> Vec<TensorId> {
+        self.tensor_ids()
+            .filter(|&t| self.producer(t).is_none() && !self.consumers(t).is_empty())
+            .collect()
+    }
+
+    /// Tensors marked as graph outputs.
+    pub fn outputs(&self) -> Vec<TensorId> {
+        self.tensor_ids()
+            .filter(|&t| self.tensor(t).kind == TensorKind::Output)
+            .collect()
+    }
+
+    /// Looks a tensor up by name (names are not required to be unique; the
+    /// first match wins).
+    pub fn tensor_by_name(&self, name: &str) -> Option<TensorId> {
+        self.tensor_ids().find(|&t| self.tensor(t).name == name)
+    }
+
+    /// Sum of FLOPs for the given subset of nodes.
+    pub fn subset_flops(&self, nodes: &[NodeId]) -> Flops {
+        nodes.iter().map(|&n| self.node_flops(n)).sum()
+    }
+
+    /// Off-chip boundary traffic of a node subset treated as one fused
+    /// kernel: tensors read from outside the subset plus tensors written
+    /// for consumption outside the subset (or graph outputs). Intermediates
+    /// wholly inside the subset stay in on-chip stage buffers and count
+    /// zero (§III-A).
+    pub fn subset_boundary_bytes(&self, nodes: &[NodeId]) -> Bytes {
+        let inside: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+        let mut traffic = Bytes::ZERO;
+        let mut read_tensors: std::collections::HashSet<TensorId> = Default::default();
+        for &nid in nodes {
+            let node = self.node(nid);
+            for &t in &node.inputs {
+                let produced_inside =
+                    self.producer(t).map(|p| inside.contains(&p)).unwrap_or(false);
+                if !produced_inside && self.tensor(t).is_offchip() && read_tensors.insert(t) {
+                    traffic += self.tensor(t).bytes();
+                }
+            }
+            let out = node.output;
+            let escapes = self.tensor(out).kind == TensorKind::Output
+                || self.consumers(out).iter().any(|c| !inside.contains(c));
+            if escapes && self.tensor(out).is_offchip() {
+                traffic += self.tensor(out).bytes();
+            }
+        }
+        traffic
+    }
+}
+
+/// Incremental graph builder.
+///
+/// ```
+/// use sn_dataflow::{GraphBuilder, OpKind, Shape, DType, TensorKind};
+///
+/// let mut b = GraphBuilder::new("tiny");
+/// let x = b.tensor("x", Shape::mat(128, 64), DType::Bf16, TensorKind::Input);
+/// let w = b.tensor("w", Shape::mat(64, 256), DType::Bf16, TensorKind::Weight);
+/// let y = b.node("proj", OpKind::Gemm { transpose_b: false }, &[x, w]).unwrap();
+/// b.mark_output(y);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.node_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    tensors: Vec<TensorDef>,
+    nodes: Vec<Node>,
+    producers: Vec<Option<NodeId>>,
+    consumers: Vec<Vec<NodeId>>,
+    names_seen: HashMap<String, u32>,
+    region: u32,
+}
+
+impl GraphBuilder {
+    /// Starts a new graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            tensors: Vec::new(),
+            nodes: Vec::new(),
+            producers: Vec::new(),
+            consumers: Vec::new(),
+            names_seen: HashMap::new(),
+            region: 0,
+        }
+    }
+
+    /// Sets the scheduling region for subsequently added nodes (e.g. the
+    /// transformer layer index). See [`crate::op::Node::region`].
+    pub fn set_region(&mut self, region: u32) {
+        self.region = region;
+    }
+
+    fn unique_name(&mut self, base: &str) -> String {
+        let n = self.names_seen.entry(base.to_string()).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            base.to_string()
+        } else {
+            format!("{base}#{n}")
+        }
+    }
+
+    /// Declares a source tensor (input, weight, metadata, KV cache, or
+    /// on-chip generated value).
+    pub fn tensor(
+        &mut self,
+        name: impl AsRef<str>,
+        shape: Shape,
+        dtype: DType,
+        kind: TensorKind,
+    ) -> TensorId {
+        let name = self.unique_name(name.as_ref());
+        let id = TensorId(self.tensors.len() as u32);
+        self.tensors.push(TensorDef::new(name, shape, dtype, kind));
+        self.producers.push(None);
+        self.consumers.push(Vec::new());
+        id
+    }
+
+    /// Adds an operator node consuming existing tensors; the output tensor
+    /// is created as an [`TensorKind::Activation`] with inferred shape and
+    /// the dtype of the first input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Shape`] if the operator rejects the input
+    /// shapes, or [`GraphError::UnknownTensor`] on a foreign tensor id.
+    pub fn node(
+        &mut self,
+        name: impl AsRef<str>,
+        op: OpKind,
+        inputs: &[TensorId],
+    ) -> Result<TensorId, GraphError> {
+        self.node_with_dtype(name, op, inputs, None)
+    }
+
+    /// Like [`GraphBuilder::node`] but forces the output dtype (format
+    /// conversions, logits in FP32, and similar).
+    pub fn node_with_dtype(
+        &mut self,
+        name: impl AsRef<str>,
+        op: OpKind,
+        inputs: &[TensorId],
+        out_dtype: Option<DType>,
+    ) -> Result<TensorId, GraphError> {
+        for &t in inputs {
+            if t.index() >= self.tensors.len() {
+                return Err(GraphError::UnknownTensor(format!("{t}")));
+            }
+        }
+        let shapes: Vec<&Shape> = inputs.iter().map(|&t| &self.tensors[t.index()].shape).collect();
+        let out_shape = op.infer_shape(&shapes).map_err(GraphError::Shape)?;
+        let dtype = out_dtype.unwrap_or_else(|| self.tensors[inputs[0].index()].dtype);
+        let node_name = self.unique_name(name.as_ref());
+        let out_kind = if matches!(op, OpKind::KvAppend) {
+            TensorKind::KvCache
+        } else {
+            TensorKind::Activation
+        };
+        let out = self.tensor(format!("{node_name}.out"), out_shape, dtype, out_kind);
+        let nid = NodeId(self.nodes.len() as u32);
+        for &t in inputs {
+            self.consumers[t.index()].push(nid);
+        }
+        self.producers[out.index()] = Some(nid);
+        self.nodes.push(Node {
+            name: node_name,
+            op,
+            inputs: inputs.to_vec(),
+            output: out,
+            region: self.region,
+        });
+        Ok(out)
+    }
+
+    /// Marks a produced tensor as a graph output.
+    pub fn mark_output(&mut self, id: TensorId) {
+        self.tensors[id.index()].kind = TensorKind::Output;
+    }
+
+    /// Shape of a tensor declared so far (useful when a builder routine
+    /// needs to adapt to an inferred intermediate shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign tensor id.
+    pub fn shape_of(&self, id: TensorId) -> &Shape {
+        &self.tensors[id.index()].shape
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] if no node was added.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        Ok(Graph {
+            name: self.name,
+            tensors: self.tensors,
+            nodes: self.nodes,
+            producers: self.producers,
+            consumers: self.consumers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BinaryKind;
+
+    fn mlp_graph() -> Graph {
+        // x -> gemm(w1) -> silu -> mul(gemm(w3)) -> gemm(w2) -> y
+        let mut b = GraphBuilder::new("mlp");
+        let x = b.tensor("x", Shape::mat(64, 128), DType::Bf16, TensorKind::Input);
+        let w1 = b.tensor("w1", Shape::mat(128, 512), DType::Bf16, TensorKind::Weight);
+        let w3 = b.tensor("w3", Shape::mat(128, 512), DType::Bf16, TensorKind::Weight);
+        let w2 = b.tensor("w2", Shape::mat(512, 128), DType::Bf16, TensorKind::Weight);
+        let g = b.node("gate", OpKind::Gemm { transpose_b: false }, &[x, w1]).unwrap();
+        let a = b.node("act", OpKind::Unary(crate::op::UnaryKind::Silu), &[g]).unwrap();
+        let u = b.node("up", OpKind::Gemm { transpose_b: false }, &[x, w3]).unwrap();
+        let m = b.node("mix", OpKind::Binary(BinaryKind::Mul), &[a, u]).unwrap();
+        let y = b.node("down", OpKind::Gemm { transpose_b: false }, &[m, w2]).unwrap();
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_infers_shapes() {
+        let g = mlp_graph();
+        assert_eq!(g.node_count(), 5);
+        let y = g.outputs()[0];
+        assert_eq!(g.tensor(y).shape, Shape::mat(64, 128));
+    }
+
+    #[test]
+    fn insertion_order_is_topological() {
+        let g = mlp_graph();
+        for nid in g.node_ids() {
+            for &t in &g.node(nid).inputs {
+                if let Some(p) = g.producer(t) {
+                    assert!(p < nid, "producer {p} must precede consumer {nid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consumers_and_producers_are_inverse() {
+        let g = mlp_graph();
+        for t in g.tensor_ids() {
+            for &c in g.consumers(t) {
+                assert!(g.node(c).inputs.contains(&t));
+            }
+            if let Some(p) = g.producer(t) {
+                assert_eq!(g.node(p).output, t);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_bytes_sum_parameters() {
+        let g = mlp_graph();
+        // w1 + w3: 128*512 each, w2: 512*128, all BF16.
+        assert_eq!(g.weight_bytes(), Bytes::new(3 * 128 * 512 * 2));
+    }
+
+    #[test]
+    fn fused_boundary_excludes_intermediates() {
+        let g = mlp_graph();
+        let all: Vec<NodeId> = g.node_ids().collect();
+        let fused = g.subset_boundary_bytes(&all);
+        // Boundary: x, w1, w3, w2, y. (x counted once even though read twice.)
+        let expect = Bytes::new((64 * 128 + 3 * 128 * 512 + 64 * 128) * 2);
+        assert_eq!(fused, expect);
+        // Unfused sums every edge and is strictly larger.
+        let unfused: Bytes = g
+            .node_ids()
+            .map(|n| g.node_input_bytes(n) + g.node_output_bytes(n))
+            .sum();
+        assert!(unfused > fused);
+    }
+
+    #[test]
+    fn duplicate_names_are_uniquified() {
+        let mut b = GraphBuilder::new("dup");
+        let x = b.tensor("x", Shape::mat(4, 4), DType::Bf16, TensorKind::Input);
+        let a = b.node("op", OpKind::Unary(crate::op::UnaryKind::Neg), &[x]).unwrap();
+        let _ = b.node("op", OpKind::Unary(crate::op::UnaryKind::Neg), &[a]).unwrap();
+        let g = b.build().unwrap();
+        assert_ne!(g.nodes()[0].name, g.nodes()[1].name);
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(GraphBuilder::new("e").build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn foreign_tensor_rejected() {
+        let mut other = GraphBuilder::new("other");
+        let foreign =
+            other.tensor("x", Shape::mat(4, 4), DType::Bf16, TensorKind::Input);
+        let mut b = GraphBuilder::new("b");
+        let err = b.node("op", OpKind::Unary(crate::op::UnaryKind::Neg), &[foreign]);
+        assert!(matches!(err, Err(GraphError::UnknownTensor(_))));
+    }
+
+    #[test]
+    fn generated_inputs_do_not_count_as_traffic() {
+        let mut b = GraphBuilder::new("gen");
+        let x = b.tensor("x", Shape::mat(64, 64), DType::Bf16, TensorKind::Input);
+        let tw = b.tensor("tw", Shape::mat(64, 64), DType::Bf16, TensorKind::Generated);
+        let y = b.node("mul", OpKind::Binary(BinaryKind::Mul), &[x, tw]).unwrap();
+        b.mark_output(y);
+        let g = b.build().unwrap();
+        let n = g.node_ids().next().unwrap();
+        assert_eq!(g.node_input_bytes(n), Bytes::new(64 * 64 * 2));
+    }
+}

@@ -1,0 +1,149 @@
+//! Tensor shapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dimensions of a tensor, outermost first.
+///
+/// ```
+/// use sn_dataflow::Shape;
+/// let s = Shape::new(vec![8, 4096, 128]);
+/// assert_eq!(s.elements(), 8 * 4096 * 128);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero — zero-sized tensors are always a
+    /// model-construction bug in this workspace.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "zero dimension in shape {dims:?}");
+        Shape(dims)
+    }
+
+    /// A scalar-like one-element shape.
+    pub fn scalar() -> Self {
+        Shape(vec![1])
+    }
+
+    /// A 2-D shape.
+    pub fn mat(rows: usize, cols: usize) -> Self {
+        Shape::new(vec![rows, cols])
+    }
+
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count.
+    pub fn elements(&self) -> u64 {
+        self.0.iter().map(|&d| d as u64).product()
+    }
+
+    /// The innermost (fastest-varying) dimension.
+    pub fn inner(&self) -> usize {
+        *self.0.last().expect("shape is non-empty")
+    }
+
+    /// The outermost dimension.
+    pub fn outer(&self) -> usize {
+        self.0[0]
+    }
+
+    /// Returns a new shape with dimensions permuted by `perm`
+    /// (`perm[i]` is the source axis of destination axis `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Shape {
+        assert_eq!(perm.len(), self.rank(), "permutation rank mismatch");
+        let mut seen = vec![false; self.rank()];
+        for &p in perm {
+            assert!(p < self.rank() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        Shape(perm.iter().map(|&p| self.0[p]).collect())
+    }
+
+    /// Collapses to a 2-D view `[product(outer dims), inner]`, the canonical
+    /// GEMM-operand view.
+    pub fn as_2d(&self) -> (u64, u64) {
+        let inner = self.inner() as u64;
+        (self.elements() / inner, inner)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_multiply() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).elements(), 24);
+        assert_eq!(Shape::scalar().elements(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(vec![4, 0]);
+    }
+
+    #[test]
+    fn permute_reorders() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.permute(&[2, 0, 1]), Shape::new(vec![4, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn bad_permutation_rejected() {
+        let _ = Shape::new(vec![2, 3]).permute(&[0, 0]);
+    }
+
+    #[test]
+    fn as_2d_collapses_outer() {
+        assert_eq!(Shape::new(vec![8, 16, 32]).as_2d(), (128, 32));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Shape::new(vec![8, 4096]).to_string(), "[8x4096]");
+    }
+}

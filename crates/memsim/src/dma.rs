@@ -1,0 +1,210 @@
+//! Timed DMA transfers between memory tiers, with a traffic ledger.
+//!
+//! Transfer timing is bandwidth-limited by the slower endpoint of the
+//! route, matching how the AGCUs stream data (§IV-D). The ledger records
+//! per-route byte totals so experiments can report traffic breakdowns
+//! (e.g. Figure 1's model-switch bytes).
+
+use crate::tier::MemoryTier;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sn_arch::{Bandwidth, Bytes, SocketSpec, TimeSecs};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A directed transfer route between two tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    pub from: MemoryTier,
+    pub to: MemoryTier,
+}
+
+impl Route {
+    pub const fn new(from: MemoryTier, to: MemoryTier) -> Self {
+        Route { from, to }
+    }
+
+    /// The model-switch route on the SN40L (§V-B).
+    pub const DDR_TO_HBM: Route = Route::new(MemoryTier::Ddr, MemoryTier::Hbm);
+    /// The model-switch route on a GPU without device DDR (§III-B).
+    pub const HOST_TO_HBM: Route = Route::new(MemoryTier::HostDram, MemoryTier::Hbm);
+}
+
+/// Thread-safe accumulator of bytes moved per route.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficLedger {
+    inner: Arc<Mutex<HashMap<Route, Bytes>>>,
+}
+
+impl TrafficLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transfer.
+    pub fn record(&self, route: Route, bytes: Bytes) {
+        let mut m = self.inner.lock();
+        let entry = m.entry(route).or_insert(Bytes::ZERO);
+        *entry += bytes;
+    }
+
+    /// Total bytes moved on one route.
+    pub fn moved(&self, route: Route) -> Bytes {
+        self.inner.lock().get(&route).copied().unwrap_or(Bytes::ZERO)
+    }
+
+    /// Total bytes moved on all routes.
+    pub fn total(&self) -> Bytes {
+        self.inner.lock().values().copied().sum()
+    }
+
+    /// Snapshot of all routes for reporting.
+    pub fn snapshot(&self) -> Vec<(Route, Bytes)> {
+        let mut v: Vec<(Route, Bytes)> =
+            self.inner.lock().iter().map(|(&r, &b)| (r, b)).collect();
+        v.sort_by_key(|&(r, _)| (r.from, r.to));
+        v
+    }
+
+    /// Clears all recorded traffic.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+/// Per-socket DMA engine: effective bandwidth for each route plus a shared
+/// ledger.
+#[derive(Debug, Clone)]
+pub struct DmaEngine {
+    routes: HashMap<Route, Bandwidth>,
+    ledger: TrafficLedger,
+}
+
+impl DmaEngine {
+    /// Builds the route table for one socket. Effective (derated)
+    /// bandwidths are used throughout; the bottleneck of a route is the
+    /// slower endpoint.
+    pub fn new(socket: &SocketSpec) -> Self {
+        let hbm = socket.hbm.effective_bandwidth();
+        let ddr = socket.ddr.effective_bandwidth();
+        let host = socket.host_link;
+        let mut routes = HashMap::new();
+        let mut add = |from, to, bw: Bandwidth| {
+            routes.insert(Route::new(from, to), bw);
+        };
+        add(MemoryTier::Ddr, MemoryTier::Hbm, ddr.min(hbm));
+        add(MemoryTier::Hbm, MemoryTier::Ddr, ddr.min(hbm));
+        add(MemoryTier::HostDram, MemoryTier::Hbm, host.min(hbm));
+        add(MemoryTier::Hbm, MemoryTier::HostDram, host.min(hbm));
+        add(MemoryTier::HostDram, MemoryTier::Ddr, host.min(ddr));
+        add(MemoryTier::Ddr, MemoryTier::HostDram, host.min(ddr));
+        DmaEngine { routes, ledger: TrafficLedger::new() }
+    }
+
+    /// The engine's traffic ledger.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// Effective bandwidth of a route.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a route not present in the socket (e.g. SRAM routes, which
+    /// belong to the on-chip simulator, not the DMA engine).
+    pub fn bandwidth(&self, route: Route) -> Bandwidth {
+        *self.routes.get(&route).unwrap_or_else(|| panic!("no DMA route {route:?}"))
+    }
+
+    /// Executes a timed transfer: records it in the ledger and returns the
+    /// time taken.
+    pub fn transfer(&self, route: Route, bytes: Bytes) -> TimeSecs {
+        self.ledger.record(route, bytes);
+        if bytes == Bytes::ZERO {
+            TimeSecs::ZERO
+        } else {
+            bytes / self.bandwidth(route)
+        }
+    }
+
+    /// Time for `streams` concurrent equal transfers sharing the route's
+    /// bandwidth (they finish together).
+    pub fn transfer_shared(&self, route: Route, bytes_each: Bytes, streams: usize) -> TimeSecs {
+        assert!(streams > 0, "at least one stream");
+        self.ledger.record(route, bytes_each * streams as u64);
+        if bytes_each == Bytes::ZERO {
+            TimeSecs::ZERO
+        } else {
+            (bytes_each * streams as u64) / self.bandwidth(route)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> DmaEngine {
+        DmaEngine::new(&SocketSpec::sn40l())
+    }
+
+    #[test]
+    fn ddr_to_hbm_is_ddr_limited() {
+        let e = engine();
+        let bw = e.bandwidth(Route::DDR_TO_HBM);
+        // 200 GB/s * 0.65 = 130 GB/s effective per socket.
+        assert!((bw.as_gb_per_s() - 130.0).abs() < 1.0, "got {bw}");
+    }
+
+    #[test]
+    fn host_route_is_pcie_limited() {
+        let e = engine();
+        let bw = e.bandwidth(Route::HOST_TO_HBM);
+        assert!((bw.as_gb_per_s() - 32.0).abs() < 0.5, "got {bw}");
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let e = engine();
+        let t1 = e.transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
+        let t2 = e.transfer(Route::DDR_TO_HBM, Bytes::from_gb(2.0));
+        assert!((t2.as_secs() / t1.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let e = engine();
+        e.transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
+        e.transfer(Route::DDR_TO_HBM, Bytes::from_gb(2.0));
+        e.transfer(Route::HOST_TO_HBM, Bytes::from_gb(0.5));
+        assert_eq!(e.ledger().moved(Route::DDR_TO_HBM), Bytes::from_gb(3.0));
+        assert_eq!(e.ledger().total(), Bytes::from_gb(3.5));
+        e.ledger().clear();
+        assert_eq!(e.ledger().total(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn zero_transfer_takes_no_time() {
+        let e = engine();
+        assert!(e.transfer(Route::DDR_TO_HBM, Bytes::ZERO).is_zero());
+    }
+
+    #[test]
+    fn shared_streams_split_bandwidth() {
+        let e = engine();
+        let one = e.transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
+        let four = e.transfer_shared(Route::DDR_TO_HBM, Bytes::from_gb(1.0), 4);
+        assert!((four.as_secs() / one.as_secs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_switch_is_much_faster_on_device_ddr() {
+        // The crux of Figure 1: DDR->HBM at 130 GB/s vs host->HBM at
+        // 32 GB/s per socket.
+        let e = engine();
+        let expert = Bytes::from_gb(13.48);
+        let ddr = e.transfer(Route::DDR_TO_HBM, expert);
+        let host = e.transfer(Route::HOST_TO_HBM, expert);
+        assert!(host.as_secs() / ddr.as_secs() > 3.5);
+    }
+}

@@ -1,0 +1,45 @@
+//! Three-tier software-managed memory simulation (§IV "Memory Interfaces",
+//! §V "Software Support").
+//!
+//! The SN40L exposes two software-managed off-chip address spaces — HBM and
+//! DDR — below the distributed PMU SRAM. This crate provides:
+//!
+//! - [`tier`]: tier identities and specs;
+//! - [`alloc`]: a first-fit region allocator with coalescing, used both by
+//!   the compiler's static allocation and the CoE runtime's dynamic model
+//!   blocks;
+//! - [`device`]: per-socket device memory combining the tiers;
+//! - [`dma`]: timed transfers between tiers with a traffic ledger.
+//!
+//! # Example
+//!
+//! ```
+//! use sn_memsim::prelude::*;
+//! use sn_arch::prelude::*;
+//!
+//! let socket = SocketSpec::sn40l();
+//! let mut mem = DeviceMemory::new(&socket);
+//! let expert = Bytes::from_gb(13.48);
+//! let region = mem.alloc(MemoryTier::Hbm, expert).unwrap();
+//! assert_eq!(region.size, expert);
+//! mem.free(region).unwrap();
+//! ```
+
+pub mod alloc;
+pub mod arbiter;
+pub mod device;
+pub mod dma;
+pub mod tier;
+pub mod translate;
+
+pub mod prelude {
+    //! Convenient glob import of the most commonly used items.
+    pub use crate::alloc::{AllocError, Region, RegionAllocator};
+    pub use crate::arbiter::{BandwidthArbiter, TransferReq};
+    pub use crate::device::DeviceMemory;
+    pub use crate::dma::{DmaEngine, Route, TrafficLedger};
+    pub use crate::tier::MemoryTier;
+    pub use crate::translate::{PhysAddr, SegmentTable, TranslateError, VirtAddr};
+}
+
+pub use prelude::*;

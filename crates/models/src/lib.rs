@@ -1,0 +1,31 @@
+//! LLM workload builders for the paper's benchmark suite (Table II).
+//!
+//! Each model is described by a [`TransformerConfig`] and lowered to a
+//! [`sn_dataflow::Graph`] for one of three phases: *prefill* (first-token
+//! generation over the whole prompt), *decode* (one autoregressive step
+//! against the KV cache), and *train* (forward plus backward). Graphs are
+//! built per-socket for a given tensor-parallel degree, with
+//! [`sn_dataflow::OpKind::AllReduce`] nodes where Megatron-style TP
+//! requires them.
+//!
+//! # Example
+//!
+//! ```
+//! use sn_models::{TransformerConfig, Phase, build};
+//!
+//! let cfg = TransformerConfig::llama2_7b();
+//! assert!((cfg.param_count() as f64 - 6.7e9).abs() < 0.4e9);
+//! let g = build(&cfg, Phase::Decode { past_tokens: 4096 }, 1, 8).unwrap();
+//! assert!(g.node_count() > 100);
+//! ```
+
+pub mod catalog;
+pub mod config;
+pub mod llm;
+pub mod vision;
+
+pub use catalog::{table2, Benchmark, BenchmarkPhase};
+pub use config::{Activation, Attention, Norm, TransformerConfig};
+pub use config::MoeConfig;
+pub use llm::{build, Phase};
+pub use vision::{build_vit, llava_pipeline, VitConfig};

@@ -1,0 +1,318 @@
+//! Functional (value-level) models of the PCU and PMU datapaths.
+//!
+//! The timing models in [`crate::pcu`] and [`crate::pmu`] answer "how many
+//! cycles"; these models answer "what values" — they actually move data
+//! the way the hardware does, so tests can verify that the mechanisms
+//! compute correctly:
+//!
+//! - [`SystolicArray`] executes a GEMM as an output-stationary wavefront
+//!   and must agree with a reference matrix multiply (§IV-A);
+//! - [`SimdPipeline`] streams vectors through chained stage functions;
+//! - [`Scratchpad`] is a banked SRAM with the diagonally striped layout,
+//!   demonstrating that a tensor written once reads back correctly in both
+//!   row-major and transposed order at full bandwidth (§IV-B).
+
+use sn_arch::{Cycles, PcuSpec, PmuSpec};
+
+/// An output-stationary systolic array executing BF16-like GEMMs in f32.
+#[derive(Debug, Clone)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+}
+
+impl SystolicArray {
+    pub fn new(spec: &PcuSpec) -> Self {
+        SystolicArray { rows: spec.systolic_rows, cols: spec.systolic_cols }
+    }
+
+    /// Multiplies `a` (`m x k`, row-major) by `b` (`k x n`, row-major) by
+    /// marching data through the array tile by tile, exactly as the
+    /// broadcast buffers feed it. Returns `(result, cycles)`; the result
+    /// must equal a reference matmul and the cycle count follows the
+    /// [`crate::pcu::PcuModel`] timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn gemm(&self, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> (Vec<f32>, Cycles) {
+        assert_eq!(a.len(), m * k, "lhs size");
+        assert_eq!(b.len(), k * n, "rhs size");
+        let mut out = vec![0.0f32; m * n];
+        let mut cycles = (self.rows + self.cols) as u64; // fill
+        // Process output tiles; each tile accumulates over k cycles with
+        // one wavefront step per cycle (PE (i, j) sees a[i][t] and b[t][j]
+        // skewed in time; the skew only affects latency, not values, so we
+        // accumulate per step).
+        for tile_m in (0..m).step_by(self.rows) {
+            for tile_n in (0..n).step_by(self.cols) {
+                for t in 0..k {
+                    cycles += 1;
+                    for i in tile_m..(tile_m + self.rows).min(m) {
+                        for j in tile_n..(tile_n + self.cols).min(n) {
+                            // PE(i, j): MAC of the streamed operands.
+                            out[i * n + j] += a[i * k + t] * b[t * n + j];
+                        }
+                    }
+                }
+            }
+        }
+        (out, Cycles::new(cycles))
+    }
+}
+
+/// A pipelined SIMD core: vectors stream through a chain of stage
+/// functions, one vector per cycle in steady state.
+#[derive(Debug)]
+pub struct SimdPipeline {
+    lanes: usize,
+    stages: Vec<fn(f32) -> f32>,
+    max_stages: usize,
+}
+
+impl SimdPipeline {
+    /// Builds a pipeline from stage functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain exceeds the PCU's stage budget — the compiler
+    /// must split such chains across PCUs (§IV-A).
+    pub fn new(spec: &PcuSpec, stages: Vec<fn(f32) -> f32>) -> Self {
+        assert!(
+            stages.len() <= spec.simd_stages,
+            "chain of {} exceeds {} SIMD stages",
+            stages.len(),
+            spec.simd_stages
+        );
+        SimdPipeline { lanes: spec.simd_lanes, stages, max_stages: spec.simd_stages }
+    }
+
+    /// Streams `input` through the pipeline; returns `(values, cycles)`.
+    pub fn run(&self, input: &[f32]) -> (Vec<f32>, Cycles) {
+        let out: Vec<f32> =
+            input.iter().map(|&v| self.stages.iter().fold(v, |acc, f| f(acc))).collect();
+        let vectors = input.len().div_ceil(self.lanes) as u64;
+        let fill = self.stages.len().min(self.max_stages) as u64;
+        (out, Cycles::new(fill + vectors))
+    }
+}
+
+/// A banked scratchpad storing a 2-D tensor in the diagonally striped
+/// format: element `(r, c)` lives in bank `(r + c) % banks` at row-major
+/// position within the bank. One write layout serves both read orders at
+/// full bandwidth (§IV-B).
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    banks: Vec<Vec<f32>>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Scratchpad {
+    /// Writes a `rows x cols` tensor diagonally striped across the PMU's
+    /// banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor exceeds the scratchpad capacity (f32 model of
+    /// BF16 data: capacity halves).
+    pub fn write_striped(spec: &PmuSpec, data: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        let capacity_elems = (spec.scratchpad.as_u64() / 2) as usize;
+        assert!(rows * cols <= capacity_elems, "tensor exceeds PMU scratchpad");
+        let nb = spec.banks;
+        let mut banks = vec![Vec::new(); nb];
+        // Bank-local addresses must be position-computable: element (r, c)
+        // goes to bank (r + c) % nb at index r * ceil(cols / nb) + c / nb.
+        let per_row = cols.div_ceil(nb);
+        for b in &mut banks {
+            b.resize(rows * per_row, 0.0);
+        }
+        for r in 0..rows {
+            for c in 0..cols {
+                let bank = (r + c) % nb;
+                banks[bank][r * per_row + c / nb] = data[r * cols + c];
+            }
+        }
+        Scratchpad { banks, rows, cols }
+    }
+
+    fn get(&self, r: usize, c: usize) -> f32 {
+        let nb = self.banks.len();
+        let per_row = self.cols.div_ceil(nb);
+        self.banks[(r + c) % nb][r * per_row + c / nb]
+    }
+
+    /// Reads the tensor back row-major. Returns `(values, conflict-free)`:
+    /// the boolean reports whether every vector of `banks` consecutive
+    /// elements touched distinct banks.
+    pub fn read_rows(&self) -> (Vec<f32>, bool) {
+        let nb = self.banks.len();
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        let mut conflict_free = true;
+        for r in 0..self.rows {
+            for c0 in (0..self.cols).step_by(nb) {
+                let span = nb.min(self.cols - c0);
+                let mut seen = vec![false; nb];
+                for c in c0..c0 + span {
+                    let bank = (r + c) % nb;
+                    if seen[bank] {
+                        conflict_free = false;
+                    }
+                    seen[bank] = true;
+                    out.push(self.get(r, c));
+                }
+            }
+        }
+        (out, conflict_free)
+    }
+
+    /// Reads the tensor back column-major (the transposed view). Same
+    /// conflict accounting over vectors of `banks` consecutive rows.
+    pub fn read_transposed(&self) -> (Vec<f32>, bool) {
+        let nb = self.banks.len();
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        let mut conflict_free = true;
+        for c in 0..self.cols {
+            for r0 in (0..self.rows).step_by(nb) {
+                let span = nb.min(self.rows - r0);
+                let mut seen = vec![false; nb];
+                for r in r0..r0 + span {
+                    let bank = (r + c) % nb;
+                    if seen[bank] {
+                        conflict_free = false;
+                    }
+                    seen[bank] = true;
+                    out.push(self.get(r, c));
+                }
+            }
+        }
+        (out, conflict_free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for t in 0..k {
+                    out[i * n + j] += a[i * k + t] * b[t * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn systolic_gemm_matches_reference() {
+        let arr = SystolicArray::new(&PcuSpec::sn40l());
+        let (m, k, n) = (20, 33, 18); // deliberately non-multiples of 16
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let (out, cycles) = arr.gemm(&a, &b, m, k, n);
+        let reference = reference_gemm(&a, &b, m, k, n);
+        for (x, y) in out.iter().zip(&reference) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+        assert!(cycles.as_u64() > 0);
+    }
+
+    #[test]
+    fn systolic_cycles_agree_with_timing_model() {
+        let spec = PcuSpec::sn40l();
+        let arr = SystolicArray::new(&spec);
+        let model = crate::pcu::PcuModel::new(spec);
+        let (m, k, n) = (32, 64, 48);
+        let a = vec![1.0; m * k];
+        let b = vec![1.0; k * n];
+        let (_, functional) = arr.gemm(&a, &b, m, k, n);
+        let predicted = model.systolic_cycles(m, n, k);
+        assert_eq!(functional, predicted, "functional and timing models must agree");
+    }
+
+    #[test]
+    fn simd_chain_applies_in_order() {
+        let spec = PcuSpec::sn40l();
+        let pipe = SimdPipeline::new(&spec, vec![|v| v + 1.0, |v| v * 2.0]);
+        let (out, cycles) = pipe.run(&[0.0, 1.0, 2.0]);
+        assert_eq!(out, vec![2.0, 4.0, 6.0]);
+        assert_eq!(cycles.as_u64(), 2 + 1); // 2 fill + 1 vector
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_simd_chain_panics() {
+        let spec = PcuSpec::sn40l();
+        let _ = SimdPipeline::new(
+            &spec,
+            vec![|v| v; 7], // spec has 6 stages
+        );
+    }
+
+    #[test]
+    fn striped_scratchpad_reads_both_orders() {
+        let spec = PmuSpec::sn40l();
+        let (rows, cols) = (48, 48);
+        let data: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+        let pad = Scratchpad::write_striped(&spec, &data, rows, cols);
+        let (row_major, rm_ok) = pad.read_rows();
+        assert_eq!(row_major, data, "row-major readback");
+        assert!(rm_ok, "row reads are conflict-free");
+        let (transposed, tr_ok) = pad.read_transposed();
+        assert!(tr_ok, "transposed reads are conflict-free — the §IV-B property");
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(transposed[c * rows + r], data[r * cols + c]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds PMU scratchpad")]
+    fn oversized_tensor_rejected() {
+        let spec = PmuSpec::sn40l();
+        let elems = (spec.scratchpad.as_u64() / 2) as usize + 1;
+        let data = vec![0.0; elems];
+        let _ = Scratchpad::write_striped(&spec, &data, 1, elems);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Systolic GEMM equals the reference for arbitrary small shapes.
+        #[test]
+        fn systolic_always_matches(m in 1usize..24, k in 1usize..24, n in 1usize..24) {
+            let arr = SystolicArray::new(&PcuSpec::sn40l());
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 + m) % 13) as f32 - 6.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 + n) % 11) as f32 - 5.0).collect();
+            let (out, _) = arr.gemm(&a, &b, m, k, n);
+            let reference = reference_gemm(&a, &b, m, k, n);
+            for (x, y) in out.iter().zip(&reference) {
+                prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+
+        /// Any tensor round-trips through the striped scratchpad, and the
+        /// transposed read never conflicts.
+        #[test]
+        fn striping_roundtrips(rows in 1usize..40, cols in 1usize..40) {
+            let spec = PmuSpec::sn40l();
+            let data: Vec<f32> = (0..rows * cols).map(|i| i as f32 * 0.5).collect();
+            let pad = Scratchpad::write_striped(&spec, &data, rows, cols);
+            let (rm, _) = pad.read_rows();
+            prop_assert_eq!(rm, data.clone());
+            let (tr, tr_ok) = pad.read_transposed();
+            prop_assert!(tr_ok);
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert_eq!(tr[c * rows + r], data[r * cols + c]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Cycle-level simulator of the SN40L RDU tile (§IV).
+//!
+//! This crate models the on-chip mechanisms that make streaming dataflow
+//! work, at packet and cycle granularity:
+//!
+//! - [`pcu`]: Pattern Compute Unit timing — systolic GEMM and pipelined
+//!   SIMD execution (§IV-A);
+//! - [`pmu`]: Pattern Memory Unit — banked scratchpad with bank-conflict
+//!   accounting, programmable bank bits, sequence-ID write reordering, and
+//!   the diagonally striped transpose layout (§IV-B);
+//! - [`rdn`]: the Reconfigurable Dataflow Network — a mesh of
+//!   credit-flow-controlled switches with static flow routing (global-pool
+//!   or MPLS-style relabeling), multicast, and packet throttling
+//!   (§IV-C, §IV-E, §VII);
+//! - [`agcu`]: kernel-launch sequencing and DMA stream timing (§IV-D);
+//! - [`pipeline`]: a coarse-grained stage-pipeline simulator that validates
+//!   the compiler's static bandwidth model on fused kernels.
+//!
+//! The macro experiments of the paper are driven by the *static* model in
+//! `sn-compiler`; this simulator exists to reproduce the micro-phenomena
+//! the paper discusses (congestion, bank conflicts, reordering) and to
+//! check the static model's pipeline arithmetic against an executable
+//! ground truth.
+
+pub mod agcu;
+pub mod control;
+pub mod functional;
+pub mod interleave;
+pub mod pcu;
+pub mod pipeline;
+pub mod pmu;
+pub mod rdn;
+pub mod tile;
+
+pub use control::{run_orchestration, LoopCounter, OrchOutcome, OrchUnit};
+pub use functional::{Scratchpad, SimdPipeline, SystolicArray};
+pub use interleave::{InterleaveScheme, PmuGroup};
+pub use pcu::PcuModel;
+pub use pipeline::{PipelineSim, Stage};
+pub use pmu::PmuModel;
+pub use rdn::{Flow, FlowIdMode, NetSim, NetStats};
+pub use tile::{map_stages, pipeline_flows, simulate_kernel, Mapping, StageReq};

@@ -1,0 +1,601 @@
+//! The CoE runtime (§V-B): dynamic linking of independently compiled
+//! models, per-model DDR blocks, and an HBM activation cache with LRU
+//! eviction and read-only copy-back elision.
+//!
+//! Every compiled model binary declares exactly how much HBM and DDR it
+//! needs. Registration allocates one DDR block holding *all* segments
+//! (including those destined for HBM). Activation copies the HBM segments
+//! up; eviction copies only dirty segments back, because the compiler
+//! annotates read-only symbols (weights) that never need the return trip.
+
+use serde::{Deserialize, Serialize};
+use sn_arch::{Bandwidth, Bytes, NodeSpec, TimeSecs};
+use sn_memsim::{AllocError, DeviceMemory, MemoryTier, Region, SegmentTable, VirtAddr};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// What a compiled model needs from the memory system (§V-B: "each
+/// compiled model binary tells us ahead of time exactly how much HBM and
+/// DDR space that model will require").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelBinary {
+    pub name: String,
+    /// Bytes the compiler intended for HBM (weights + resident state),
+    /// summed across the node's sockets.
+    pub hbm_bytes: Bytes,
+    /// Bytes that live in DDR even while active (spilled symbols).
+    pub ddr_only_bytes: Bytes,
+    /// Portion of `hbm_bytes` annotated read-only (skips copy-back).
+    pub read_only_bytes: Bytes,
+}
+
+impl ModelBinary {
+    /// A weights-only model: everything HBM-resident and read-only.
+    pub fn weights_only(name: impl Into<String>, weights: Bytes) -> Self {
+        ModelBinary {
+            name: name.into(),
+            hbm_bytes: weights,
+            ddr_only_bytes: Bytes::ZERO,
+            read_only_bytes: weights,
+        }
+    }
+}
+
+/// Which resident model to evict when HBM fills (§V-B uses LRU; FIFO is
+/// the ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    Lru,
+    Fifo,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoeRuntimeConfig {
+    pub eviction: EvictionPolicy,
+    /// Skip copying read-only symbols back to DDR on eviction (§V-B).
+    pub skip_readonly_copyback: bool,
+    /// HBM held back for the router, KV cache, and activations.
+    pub hbm_reserved: Bytes,
+}
+
+impl Default for CoeRuntimeConfig {
+    fn default() -> Self {
+        CoeRuntimeConfig {
+            eviction: EvictionPolicy::Lru,
+            skip_readonly_copyback: true,
+            hbm_reserved: Bytes::from_gib(48),
+        }
+    }
+}
+
+/// Result of one activation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationOutcome {
+    /// The model was already resident: no copies at all.
+    pub hit: bool,
+    /// Models evicted to make room.
+    pub evicted: Vec<String>,
+    /// Bytes copied DDR -> HBM.
+    pub copied_in: Bytes,
+    /// Bytes copied HBM -> DDR for dirty evicted state.
+    pub copied_back: Bytes,
+    /// Wall time of the switch.
+    pub switch_time: TimeSecs,
+}
+
+/// CoE runtime errors.
+#[derive(Debug)]
+pub enum CoeError {
+    /// DDR cannot hold another model (the SN40L analog of the DGX's
+    /// 150-expert OOM; a node holds 850+ Llama2-7B experts).
+    DdrFull(AllocError),
+    /// The model's HBM segments exceed the activation budget outright.
+    TooLargeForHbm { name: String, need: Bytes, budget: Bytes },
+    /// Unknown model name.
+    Unknown(String),
+    /// Model registered twice.
+    Duplicate(String),
+}
+
+impl fmt::Display for CoeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoeError::DdrFull(e) => write!(f, "ddr exhausted: {e}"),
+            CoeError::TooLargeForHbm { name, need, budget } => {
+                write!(f, "{name} needs {need} of HBM, budget is {budget}")
+            }
+            CoeError::Unknown(n) => write!(f, "unknown model {n}"),
+            CoeError::Duplicate(n) => write!(f, "model {n} already registered"),
+        }
+    }
+}
+
+impl Error for CoeError {}
+
+/// Cumulative runtime statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CoeStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub bytes_in: Bytes,
+    pub bytes_back: Bytes,
+}
+
+/// Virtual base where every model's HBM-destined segments live; compiled
+/// binaries are linked against this address and the AGCU translation layer
+/// retargets it per activation (§IV-D).
+pub const MODEL_SEGMENT_BASE: VirtAddr = VirtAddr(0x1000_0000);
+
+#[derive(Debug)]
+struct Registered {
+    binary: ModelBinary,
+    ddr_block: Region,
+    hbm_block: Option<Region>,
+    table: SegmentTable,
+    last_use: u64,
+    activated_at: u64,
+}
+
+/// The node-level CoE runtime.
+#[derive(Debug)]
+pub struct CoeRuntime {
+    memory: DeviceMemory,
+    switch_bandwidth: Bandwidth,
+    config: CoeRuntimeConfig,
+    models: HashMap<String, Registered>,
+    clock: u64,
+    stats: CoeStats,
+}
+
+impl CoeRuntime {
+    /// Builds a runtime over a node's aggregate HBM and DDR.
+    pub fn new(node: &NodeSpec, config: CoeRuntimeConfig) -> Self {
+        let memory = DeviceMemory::with_capacities(
+            node.hbm_capacity(),
+            node.ddr_capacity(),
+            node.host_dram,
+        );
+        CoeRuntime {
+            memory,
+            switch_bandwidth: node.model_switch_bandwidth(),
+            config,
+            models: HashMap::new(),
+            clock: 0,
+            stats: CoeStats::default(),
+        }
+    }
+
+    /// HBM available for resident models.
+    pub fn hbm_budget(&self) -> Bytes {
+        self.memory
+            .capacity(MemoryTier::Hbm)
+            .saturating_sub(self.config.hbm_reserved)
+    }
+
+    /// Registers a model: allocates its DDR home block (which includes the
+    /// segments destined for HBM — they start in DDR, §V-B).
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::Duplicate`] on re-registration; [`CoeError::DdrFull`]
+    /// when node DDR cannot hold the model; [`CoeError::TooLargeForHbm`]
+    /// when the model could never be activated.
+    pub fn register(&mut self, binary: ModelBinary) -> Result<(), CoeError> {
+        if self.models.contains_key(&binary.name) {
+            return Err(CoeError::Duplicate(binary.name));
+        }
+        if binary.hbm_bytes > self.hbm_budget() {
+            return Err(CoeError::TooLargeForHbm {
+                name: binary.name,
+                need: binary.hbm_bytes,
+                budget: self.hbm_budget(),
+            });
+        }
+        let total = binary.hbm_bytes + binary.ddr_only_bytes;
+        let ddr_block = self.memory.alloc(MemoryTier::Ddr, total).map_err(CoeError::DdrFull)?;
+        // The model's working segment initially points at its DDR home.
+        let mut table = SegmentTable::new();
+        table
+            .map(
+                MODEL_SEGMENT_BASE,
+                Region { tier: MemoryTier::Ddr, offset: ddr_block.offset, size: binary.hbm_bytes },
+            )
+            .expect("fresh table has no overlaps");
+        self.models.insert(
+            binary.name.clone(),
+            Registered { binary, ddr_block, hbm_block: None, table, last_use: 0, activated_at: 0 },
+        );
+        Ok(())
+    }
+
+    /// Number of registered models.
+    pub fn registered_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Names of currently HBM-resident models.
+    pub fn active_models(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .models
+            .iter()
+            .filter(|(_, r)| r.hbm_block.is_some())
+            .map(|(n, _)| n.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    pub fn stats(&self) -> CoeStats {
+        self.stats
+    }
+
+    /// Translates a model-space virtual address through its segment table —
+    /// the AGCU view of where the model's weights currently live (§IV-D).
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::Unknown`] for unregistered names.
+    pub fn translate(
+        &self,
+        name: &str,
+        addr: VirtAddr,
+    ) -> Result<Result<sn_memsim::PhysAddr, sn_memsim::TranslateError>, CoeError> {
+        let reg = self.models.get(name).ok_or_else(|| CoeError::Unknown(name.to_string()))?;
+        Ok(reg.table.translate(addr))
+    }
+
+    fn pick_victim(&self, exclude: &str) -> Option<String> {
+        let candidates = self
+            .models
+            .iter()
+            .filter(|(n, r)| r.hbm_block.is_some() && n.as_str() != exclude);
+        match self.config.eviction {
+            EvictionPolicy::Lru => {
+                candidates.min_by_key(|(_, r)| r.last_use).map(|(n, _)| n.clone())
+            }
+            EvictionPolicy::Fifo => {
+                candidates.min_by_key(|(_, r)| r.activated_at).map(|(n, _)| n.clone())
+            }
+        }
+    }
+
+    /// Explicitly deactivates a resident model (frees its HBM block with
+    /// the usual copy-back accounting). No-op if the model is not
+    /// resident.
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::Unknown`] for unregistered names.
+    pub fn deactivate(&mut self, name: &str) -> Result<TimeSecs, CoeError> {
+        let reg = self.models.get_mut(name).ok_or_else(|| CoeError::Unknown(name.to_string()))?;
+        let Some(block) = reg.hbm_block.take() else {
+            return Ok(TimeSecs::ZERO);
+        };
+        reg.table
+            .remap(
+                MODEL_SEGMENT_BASE,
+                Region {
+                    tier: MemoryTier::Ddr,
+                    offset: reg.ddr_block.offset,
+                    size: reg.binary.hbm_bytes,
+                },
+            )
+            .expect("segment size matches");
+        let dirty = if self.config.skip_readonly_copyback {
+            reg.binary.hbm_bytes.saturating_sub(reg.binary.read_only_bytes)
+        } else {
+            reg.binary.hbm_bytes
+        };
+        self.memory.free(block).expect("block was live");
+        self.stats.bytes_back += dirty;
+        Ok(dirty / self.switch_bandwidth)
+    }
+
+    /// Unregisters a model entirely, releasing both its HBM residency and
+    /// its DDR home block.
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::Unknown`] for unregistered names.
+    pub fn unregister(&mut self, name: &str) -> Result<(), CoeError> {
+        self.deactivate(name)?;
+        let reg = self.models.remove(name).expect("checked by deactivate");
+        self.memory.free(reg.ddr_block).expect("ddr block was live");
+        Ok(())
+    }
+
+    /// Clears the cumulative statistics (hit/miss counting windows).
+    pub fn reset_stats(&mut self) {
+        self.stats = CoeStats::default();
+    }
+
+    /// Activates a model, evicting as needed; returns the outcome with the
+    /// simulated switch time.
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::Unknown`] for unregistered names.
+    pub fn activate(&mut self, name: &str) -> Result<ActivationOutcome, CoeError> {
+        self.clock += 1;
+        let clock = self.clock;
+        {
+            let reg =
+                self.models.get_mut(name).ok_or_else(|| CoeError::Unknown(name.to_string()))?;
+            if reg.hbm_block.is_some() {
+                reg.last_use = clock;
+                self.stats.hits += 1;
+                return Ok(ActivationOutcome {
+                    hit: true,
+                    evicted: Vec::new(),
+                    copied_in: Bytes::ZERO,
+                    copied_back: Bytes::ZERO,
+                    switch_time: TimeSecs::ZERO,
+                });
+            }
+        }
+        self.stats.misses += 1;
+        let need = self.models[name].binary.hbm_bytes;
+        let budget = self.hbm_budget();
+        let mut evicted = Vec::new();
+        let mut copied_back = Bytes::ZERO;
+        // Evict until the new model fits under the activation budget.
+        while self.memory.used_bytes(MemoryTier::Hbm) + need > budget {
+            let victim = self.pick_victim(name).expect("resident model exists while over budget");
+            let reg = self.models.get_mut(&victim).expect("victim is registered");
+            let block = reg.hbm_block.take().expect("victim was resident");
+            reg.table
+                .remap(
+                    MODEL_SEGMENT_BASE,
+                    Region {
+                        tier: MemoryTier::Ddr,
+                        offset: reg.ddr_block.offset,
+                        size: reg.binary.hbm_bytes,
+                    },
+                )
+                .expect("segment size matches");
+            let dirty = if self.config.skip_readonly_copyback {
+                reg.binary.hbm_bytes.saturating_sub(reg.binary.read_only_bytes)
+            } else {
+                reg.binary.hbm_bytes
+            };
+            copied_back += dirty;
+            self.memory.free(block).expect("victim block was live");
+            self.stats.evictions += 1;
+            evicted.push(victim);
+        }
+        let block = self
+            .memory
+            .alloc(MemoryTier::Hbm, need)
+            .expect("eviction loop freed enough HBM");
+        let reg = self.models.get_mut(name).expect("checked above");
+        reg.table
+            .remap(MODEL_SEGMENT_BASE, block)
+            .expect("segment size equals hbm_bytes");
+        reg.hbm_block = Some(block);
+        reg.last_use = clock;
+        reg.activated_at = clock;
+        let copied_in = need;
+        self.stats.bytes_in += copied_in;
+        self.stats.bytes_back += copied_back;
+        let switch_time = (copied_in + copied_back) / self.switch_bandwidth;
+        Ok(ActivationOutcome { hit: false, evicted, copied_in, copied_back, switch_time })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expert(i: usize) -> ModelBinary {
+        ModelBinary::weights_only(format!("expert{i}"), Bytes::from_gb(13.48))
+    }
+
+    fn runtime() -> CoeRuntime {
+        CoeRuntime::new(&NodeSpec::sn40l_node(), CoeRuntimeConfig::default())
+    }
+
+    #[test]
+    fn node_registers_850_experts() {
+        // §VI-B: a single SN40L Node holds a CoE of up to 850 experts.
+        let mut rt = runtime();
+        for i in 0..850 {
+            rt.register(expert(i)).expect("850 experts fit node DDR");
+        }
+        assert_eq!(rt.registered_count(), 850);
+    }
+
+    #[test]
+    fn repeat_requests_hit_with_zero_cost() {
+        let mut rt = runtime();
+        rt.register(expert(0)).unwrap();
+        let first = rt.activate("expert0").unwrap();
+        assert!(!first.hit);
+        assert!(first.switch_time.as_secs() > 0.0);
+        let second = rt.activate("expert0").unwrap();
+        assert!(second.hit);
+        assert!(second.switch_time.is_zero());
+    }
+
+    #[test]
+    fn switch_time_matches_ddr_bandwidth() {
+        // Figure 1: ~13.5 GB over >1 TB/s of node DDR->HBM is ~13 ms.
+        let mut rt = runtime();
+        rt.register(expert(0)).unwrap();
+        let t = rt.activate("expert0").unwrap().switch_time.as_millis();
+        assert!(t > 8.0 && t < 20.0, "switch {t} ms");
+    }
+
+    #[test]
+    fn lru_keeps_hot_experts() {
+        let mut rt = runtime();
+        // Budget 512 - 48 = 464 GiB -> 36 experts of 13.48 GB.
+        for i in 0..40 {
+            rt.register(expert(i)).unwrap();
+        }
+        for i in 0..36 {
+            rt.activate(&format!("expert{i}")).unwrap();
+        }
+        // Touch expert0 so it becomes MRU, then force one eviction.
+        rt.activate("expert0").unwrap();
+        let outcome = rt.activate("expert36").unwrap();
+        assert!(!outcome.evicted.contains(&"expert0".to_string()));
+        assert_eq!(outcome.evicted, vec!["expert1".to_string()]);
+    }
+
+    #[test]
+    fn fifo_evicts_insertion_order() {
+        let mut rt = CoeRuntime::new(
+            &NodeSpec::sn40l_node(),
+            CoeRuntimeConfig { eviction: EvictionPolicy::Fifo, ..Default::default() },
+        );
+        for i in 0..37 {
+            rt.register(expert(i)).unwrap();
+        }
+        for i in 0..36 {
+            rt.activate(&format!("expert{i}")).unwrap();
+        }
+        rt.activate("expert0").unwrap(); // hit; FIFO ignores recency
+        let outcome = rt.activate("expert36").unwrap();
+        assert_eq!(outcome.evicted, vec!["expert0".to_string()]);
+    }
+
+    #[test]
+    fn read_only_weights_skip_copy_back() {
+        let mut rt = runtime();
+        for i in 0..37 {
+            rt.register(expert(i)).unwrap();
+        }
+        for i in 0..37 {
+            let o = rt.activate(&format!("expert{i}")).unwrap();
+            assert_eq!(o.copied_back, Bytes::ZERO, "weights never copy back");
+        }
+        assert!(rt.stats().evictions > 0);
+    }
+
+    #[test]
+    fn dirty_state_copies_back_when_elision_disabled() {
+        let mut rt = CoeRuntime::new(
+            &NodeSpec::sn40l_node(),
+            CoeRuntimeConfig { skip_readonly_copyback: false, ..Default::default() },
+        );
+        for i in 0..37 {
+            rt.register(expert(i)).unwrap();
+        }
+        let mut back = Bytes::ZERO;
+        for i in 0..37 {
+            back += rt.activate(&format!("expert{i}")).unwrap().copied_back;
+        }
+        assert!(back > Bytes::ZERO, "without elision, evictions copy back");
+    }
+
+    #[test]
+    fn oversized_model_rejected_up_front() {
+        let mut rt = runtime();
+        let huge = ModelBinary::weights_only("huge", Bytes::from_tib(1));
+        assert!(matches!(rt.register(huge), Err(CoeError::TooLargeForHbm { .. })));
+    }
+
+    #[test]
+    fn unknown_and_duplicate_models_error() {
+        let mut rt = runtime();
+        rt.register(expert(0)).unwrap();
+        assert!(matches!(rt.register(expert(0)), Err(CoeError::Duplicate(_))));
+        assert!(matches!(rt.activate("nope"), Err(CoeError::Unknown(_))));
+    }
+
+    #[test]
+    fn deactivate_frees_hbm_for_others() {
+        let mut rt = runtime();
+        for i in 0..37 {
+            rt.register(expert(i)).unwrap();
+        }
+        for i in 0..36 {
+            rt.activate(&format!("expert{i}")).unwrap();
+        }
+        // Voluntarily deactivate one; the next activation evicts nothing.
+        rt.deactivate("expert0").unwrap();
+        let outcome = rt.activate("expert36").unwrap();
+        assert!(outcome.evicted.is_empty());
+    }
+
+    #[test]
+    fn unregister_releases_ddr() {
+        let mut rt = runtime();
+        rt.register(expert(0)).unwrap();
+        rt.activate("expert0").unwrap();
+        rt.unregister("expert0").unwrap();
+        assert_eq!(rt.registered_count(), 0);
+        // The name can be reused.
+        rt.register(expert(0)).unwrap();
+        assert!(matches!(rt.unregister("nope"), Err(CoeError::Unknown(_))));
+    }
+
+    #[test]
+    fn stats_reset_zeroes_counters() {
+        let mut rt = runtime();
+        rt.register(expert(0)).unwrap();
+        rt.activate("expert0").unwrap();
+        assert!(rt.stats().misses > 0);
+        rt.reset_stats();
+        assert_eq!(rt.stats().misses, 0);
+        assert_eq!(rt.stats().bytes_in, Bytes::ZERO);
+    }
+
+    #[test]
+    fn translation_follows_residency() {
+        use sn_memsim::MemoryTier;
+        let mut rt = runtime();
+        rt.register(expert(0)).unwrap();
+        let probe = VirtAddr(MODEL_SEGMENT_BASE.0 + 64);
+        // Inactive: the segment points at DDR.
+        let p = rt.translate("expert0", probe).unwrap().unwrap();
+        assert_eq!(p.tier, MemoryTier::Ddr);
+        // Active: the same virtual address now resolves into HBM.
+        rt.activate("expert0").unwrap();
+        let p = rt.translate("expert0", probe).unwrap().unwrap();
+        assert_eq!(p.tier, MemoryTier::Hbm);
+        // Deactivated: back to DDR.
+        rt.deactivate("expert0").unwrap();
+        let p = rt.translate("expert0", probe).unwrap().unwrap();
+        assert_eq!(p.tier, MemoryTier::Ddr);
+        // Outside the mapped window: a fault, not garbage.
+        assert!(rt.translate("expert0", VirtAddr(0)).unwrap().is_err());
+    }
+
+    #[test]
+    fn eviction_retargets_the_victims_segment() {
+        use sn_memsim::MemoryTier;
+        let mut rt = runtime();
+        for i in 0..37 {
+            rt.register(expert(i)).unwrap();
+        }
+        for i in 0..37 {
+            rt.activate(&format!("expert{i}")).unwrap();
+        }
+        // expert0 was evicted by the 37th activation: its segment must
+        // point back at DDR while expert36's points at HBM.
+        let probe = MODEL_SEGMENT_BASE;
+        assert_eq!(rt.translate("expert0", probe).unwrap().unwrap().tier, MemoryTier::Ddr);
+        assert_eq!(rt.translate("expert36", probe).unwrap().unwrap().tier, MemoryTier::Hbm);
+    }
+
+    #[test]
+    fn ddr_eventually_fills() {
+        let mut rt = runtime();
+        let mut registered = 0;
+        for i in 0..2000 {
+            match rt.register(expert(i)) {
+                Ok(()) => registered += 1,
+                Err(CoeError::DdrFull(_)) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(
+            (850..1050).contains(&registered),
+            "12 TiB DDR should hold ~970 experts, got {registered}"
+        );
+    }
+}

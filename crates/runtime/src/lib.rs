@@ -1,0 +1,32 @@
+//! Execution engine and CoE runtime (§IV-D, §V-B).
+//!
+//! - [`executor`] runs a compiled [`sn_compiler::Executable`] on a socket
+//!   or TP node, accounting kernel launch overheads under software or
+//!   hardware orchestration;
+//! - [`coe`] is the dynamic-linker-style CoE runtime: independently
+//!   compiled models are registered into DDR blocks, activated into an HBM
+//!   LRU cache on demand, and executed, with read-only symbols skipping
+//!   the copy-back on eviction.
+//!
+//! # Example
+//!
+//! ```
+//! use sn_arch::prelude::*;
+//! use sn_compiler::{Compiler, FusionPolicy};
+//! use sn_dataflow::monarch::monarch_fig3;
+//! use sn_runtime::executor::NodeExecutor;
+//!
+//! let compiler = Compiler::new(SocketSpec::sn40l(), Calibration::baseline());
+//! let exe = compiler.compile(&monarch_fig3(), FusionPolicy::Spatial).unwrap();
+//! let node = NodeExecutor::new(NodeSpec::sn40l_node(), Calibration::baseline());
+//! let report = node.run(&exe, Orchestration::Hardware);
+//! assert!(report.total.as_secs() > 0.0);
+//! ```
+
+pub mod coe;
+pub mod executor;
+pub mod schedule;
+
+pub use coe::{ActivationOutcome, CoeRuntime, CoeRuntimeConfig, EvictionPolicy, ModelBinary};
+pub use executor::{ExecutionReport, NodeExecutor};
+pub use schedule::{Command, LaunchSequence};

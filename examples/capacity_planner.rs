@@ -1,0 +1,66 @@
+//! Plan a CoE deployment: how many SN40L nodes vs DGX nodes does a given
+//! expert library need (the Figure 13 question), and where does each
+//! platform run out of memory?
+//!
+//! ```sh
+//! cargo run --example capacity_planner -- 400
+//! ```
+//! (argument: expert count, default 850)
+
+use samba_coe::arch::prelude::*;
+use samba_coe::baseline::{dgx_nodes_needed, sn40l_nodes_needed};
+use samba_coe::models::TransformerConfig;
+
+fn main() {
+    let experts: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(850);
+    let cfg = TransformerConfig::llama2_7b();
+    let expert_bytes = cfg.param_bytes();
+    let total = expert_bytes * experts as u64;
+    println!(
+        "library: {experts} x {} experts = {} of weights\n",
+        cfg.name, total
+    );
+
+    let sn = NodeSpec::sn40l_node();
+    let a100 = DgxSpec::dgx_a100();
+    let h100 = DgxSpec::dgx_h100();
+
+    println!("to *sustain TP8 latency* (every expert in fast local memory):");
+    let sn_nodes = sn40l_nodes_needed(&sn, experts, expert_bytes);
+    let a_nodes = dgx_nodes_needed(&a100, experts, expert_bytes);
+    let h_nodes = dgx_nodes_needed(&h100, experts, expert_bytes);
+    println!("  SN40L  : {sn_nodes:>3} node(s) — experts live in {} of node DDR", sn.ddr_capacity());
+    println!(
+        "  DGX A100: {a_nodes:>3} node(s) — experts must live in {} of HBM",
+        a100.hbm_for_experts()
+    );
+    println!(
+        "  DGX H100: {h_nodes:>3} node(s)   (footprint reduction: {:.0}x / {:.0}x)",
+        a_nodes as f64 / sn_nodes as f64,
+        h_nodes as f64 / sn_nodes as f64
+    );
+
+    println!("\nsingle-node capacity limits (weights anywhere, any latency):");
+    let dgx_max =
+        ((a100.total_expert_capacity().as_f64()) / expert_bytes.as_f64()) as usize;
+    let sn_max = (sn.ddr_capacity().as_f64() / expert_bytes.as_f64()) as usize;
+    println!("  SN40L Node: {sn_max} experts before DDR exhausts");
+    println!("  DGX       : {dgx_max} experts before HBM+host DRAM exhaust (the paper's '>150 -> OOM')");
+
+    println!("\nswitching cost per expert miss:");
+    println!(
+        "  SN40L  DDR->HBM : {}",
+        expert_bytes / sn.model_switch_bandwidth()
+    );
+    println!(
+        "  DGX A100 host->HBM: {}",
+        expert_bytes / a100.model_switch_bandwidth()
+    );
+    println!(
+        "  DGX H100 host->HBM: {}",
+        expert_bytes / h100.model_switch_bandwidth()
+    );
+}

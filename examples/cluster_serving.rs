@@ -1,0 +1,42 @@
+//! Scale a CoE past one node: shard 2,000 experts over a cluster of SN40L
+//! nodes and serve batches concurrently.
+//!
+//! ```sh
+//! cargo run --release --example cluster_serving
+//! ```
+
+use samba_coe::arch::prelude::*;
+use samba_coe::coe::cluster::CoeCluster;
+use samba_coe::coe::{ExpertLibrary, PromptGenerator};
+use samba_coe::models::TransformerConfig;
+
+fn main() {
+    // 2,000 BF16 experts exceed one node's 12 TiB of DDR; three nodes fit.
+    let experts = 2000;
+    println!("library: {experts} Llama2-7B experts");
+    for nodes in [3usize, 4, 6] {
+        let library = ExpertLibrary::new(experts);
+        let mut cluster = CoeCluster::new(NodeSpec::sn40l_node(), nodes, library, 1024)
+            .expect("cluster sized to fit");
+        let mut generator = PromptGenerator::new(4242, 1024);
+        // Warm, then measure.
+        for _ in 0..3 {
+            cluster.serve_batch(&generator.batch(24), 20);
+        }
+        let report = cluster.serve_batch(&generator.batch(24), 20);
+        println!(
+            "  {nodes} nodes: batch of 24 in {} (imbalance {:.2}, misses {})",
+            report.latency,
+            report.imbalance(),
+            report.expert_misses
+        );
+    }
+
+    // The INT8 variant fits the same library on fewer nodes.
+    let int8 = TransformerConfig::llama2_7b().quantized_int8();
+    let library = ExpertLibrary::with_config(experts, int8);
+    match CoeCluster::new(NodeSpec::sn40l_node(), 2, library, 1024) {
+        Ok(_) => println!("\nINT8 quantization: the same {experts} experts fit 2 nodes"),
+        Err(e) => println!("\nunexpected: {e}"),
+    }
+}

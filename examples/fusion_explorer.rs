@@ -1,0 +1,77 @@
+//! Explore operator fusion on the paper's motivating example (Figure 3 /
+//! Table I): operational intensity, roofline regimes, and the simulated
+//! speedup of spatial fusion.
+//!
+//! ```sh
+//! cargo run --example fusion_explorer
+//! ```
+
+use samba_coe::arch::prelude::*;
+use samba_coe::compiler::{Bound, Compiler, FusionPolicy};
+use samba_coe::dataflow::intensity::{fusion_levels, FusionLevel};
+use samba_coe::dataflow::monarch::{flash_fft_conv, monarch_fig3};
+use samba_coe::runtime::executor::NodeExecutor;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let graph = monarch_fig3();
+    println!("Figure 3 example: {} operators, {} total FLOPs", graph.node_count(), graph.total_flops());
+
+    let socket = SocketSpec::sn40l();
+    let a100 = GpuSpec::a100();
+    println!(
+        "machine balance: A100 {:.0} FLOPs/byte, SN40L {:.0} FLOPs/byte\n",
+        a100.balance(),
+        socket.hbm_balance()
+    );
+
+    let levels = fusion_levels(&graph);
+    for (label, level, paper) in [
+        ("no fusion", FusionLevel::None, 39.5),
+        ("gemm-anchored fusion", FusionLevel::Partial, 102.6),
+        ("fully spatially fused", FusionLevel::Full, 410.4),
+    ] {
+        let i = levels[&level];
+        let regime = if i < a100.balance() { "memory-bound on A100" } else { "compute-bound on A100" };
+        println!("{label:<24} {i:>7.1} ops/byte (paper {paper:>6.1}) — {regime}");
+    }
+
+    let compiler = Compiler::new(socket, Calibration::baseline());
+    let node = NodeExecutor::new(NodeSpec::sn40l_node(), Calibration::baseline());
+    println!("\nsimulated execution on one SN40L socket:");
+    for policy in [FusionPolicy::Unfused, FusionPolicy::Spatial] {
+        let exe = compiler.compile(&graph, policy)?;
+        let r = node.run(&exe, Orchestration::Hardware);
+        let bounds: Vec<&str> = exe
+            .estimates()
+            .iter()
+            .map(|e| match e.bound {
+                Bound::Compute => "C",
+                Bound::Memory => "M",
+                Bound::Collective => "X",
+            })
+            .collect();
+        println!(
+            "  {policy:?}: {} in {} kernels (bounds: {})",
+            r.total,
+            exe.kernel_count(),
+            bounds.join("")
+        );
+    }
+
+    println!("\nFlashFFTConv (1M sequence, radix-32, 4 levels):");
+    let fft = flash_fft_conv(8, 32, 4);
+    let unfused = compiler.compile(&fft, FusionPolicy::Unfused)?;
+    let fused = compiler.compile(&fft, FusionPolicy::Spatial)?;
+    let tu = node.run(&unfused, Orchestration::Software).total;
+    let tf = node.run(&fused, Orchestration::Hardware).total;
+    println!(
+        "  {} unfused kernels -> {} fused kernel(s): {} -> {} ({:.1}x)",
+        unfused.kernel_count(),
+        fused.kernel_count(),
+        tu,
+        tf,
+        tu / tf
+    );
+    Ok(())
+}

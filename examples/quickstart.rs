@@ -1,0 +1,60 @@
+//! Quickstart: compile a Llama2-7B workload for the SN40L and compare
+//! fusion policies and launch orchestration.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use samba_coe::arch::prelude::*;
+use samba_coe::compiler::{Compiler, FusionPolicy};
+use samba_coe::models::{build, Phase, TransformerConfig};
+use samba_coe::runtime::executor::NodeExecutor;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cfg = TransformerConfig::llama2_7b();
+    println!(
+        "model: {} ({:.2}B params, {} of BF16 weights)",
+        cfg.name,
+        cfg.param_count() as f64 / 1e9,
+        cfg.param_bytes()
+    );
+
+    let socket = SocketSpec::sn40l();
+    println!(
+        "socket: {} — {} peak BF16, {} HBM @ {}, {} DDR @ {}",
+        socket.chip.name,
+        socket.peak_bf16(),
+        socket.hbm.capacity,
+        socket.hbm.bandwidth,
+        socket.ddr.capacity,
+        socket.ddr.bandwidth,
+    );
+
+    let compiler = Compiler::new(socket, Calibration::baseline());
+    let node = NodeExecutor::new(NodeSpec::sn40l_node(), Calibration::baseline());
+
+    for (label, phase) in [
+        ("prefill(4096)", Phase::Prefill { prompt_tokens: 4096 }),
+        ("decode@4096", Phase::Decode { past_tokens: 4096 }),
+    ] {
+        println!("\n== {label} (TP8, one socket shard) ==");
+        let graph = build(&cfg, phase, 1, 8)?;
+        println!("graph: {} operators", graph.node_count());
+        for policy in [FusionPolicy::Unfused, FusionPolicy::Spatial] {
+            let exe = compiler.compile(&graph, policy)?;
+            for orch in [Orchestration::Software, Orchestration::Hardware] {
+                let r = node.run(&exe, orch);
+                println!(
+                    "  {policy:?} + {orch:?}: total {} ({} kernels, {} distinct programs, \
+                     {:.0}% launch overhead)",
+                    r.total,
+                    r.launches,
+                    r.distinct_programs,
+                    100.0 * r.overhead_fraction()
+                );
+            }
+        }
+    }
+    Ok(())
+}

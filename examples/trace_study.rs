@@ -1,0 +1,46 @@
+//! Study a realistic serving day: a skewed, drifting request trace against
+//! the 150-expert CoE, with and without expert prefetching.
+//!
+//! ```sh
+//! cargo run --release --example trace_study
+//! ```
+
+use samba_coe::arch::prelude::*;
+use samba_coe::coe::{ExpertLibrary, SambaCoeNode, TraceConfig, TraceGenerator};
+
+fn main() {
+    let config = TraceConfig { skew: 0.9, drift_period: 256, prompt_tokens: 1024 };
+    println!(
+        "trace: Zipf skew {}, drift every {} requests, 150 experts\n",
+        config.skew, config.drift_period
+    );
+
+    for (label, prefetch) in [("sequential switching", false), ("prefetched switching", true)] {
+        let mut node =
+            SambaCoeNode::new(NodeSpec::sn40l_node(), ExpertLibrary::samba_coe_150(), 1024);
+        let mut trace = TraceGenerator::new(77, config);
+        let mut total = TimeSecs::ZERO;
+        let mut switching = TimeSecs::ZERO;
+        let mut misses = 0;
+        let batches = 40;
+        for _ in 0..batches {
+            let batch = trace.batch(8);
+            let report = if prefetch {
+                node.serve_batch_prefetched(&batch, 20)
+            } else {
+                node.serve_batch(&batch, 20)
+            };
+            total += report.total();
+            switching += report.switching;
+            misses += report.expert_misses;
+        }
+        println!(
+            "{label:<22} {batches} batches: total {total}, exposed switching {switching} \
+             ({misses} cold misses)"
+        );
+    }
+
+    println!("\nThe skewed trace keeps a hot expert set resident (few misses after");
+    println!("warmup), and prefetching hides most of what switching remains —");
+    println!("both effects ride on the DDR tier holding the full library (§III-B).");
+}

@@ -1,0 +1,56 @@
+//! # samba-coe
+//!
+//! A from-scratch Rust reproduction of *"SambaNova SN40L: Scaling the AI
+//! Memory Wall with Dataflow and Composition of Experts"* (MICRO 2024) —
+//! the SN40L Reconfigurable Dataflow Unit, its three-tier memory system,
+//! the streaming-dataflow compiler, and the trillion-parameter Samba-CoE
+//! serving stack — built as a simulation and modeling library.
+//!
+//! The workspace is organized bottom-up:
+//!
+//! | Module (crate) | What it models |
+//! |---|---|
+//! | [`arch`] (`sn-arch`) | Typed units, chip/socket/node specs, GPU baselines, calibration |
+//! | [`dataflow`] (`sn-dataflow`) | Graph IR, operators, operational-intensity analysis |
+//! | [`memsim`] (`sn-memsim`) | HBM/DDR allocators and timed DMA |
+//! | [`rdusim`] (`sn-rdusim`) | Cycle-level PCU/PMU/RDN/AGCU simulators |
+//! | [`compiler`] (`sn-compiler`) | Fusion, place-and-route, static memory planning, static bandwidth model |
+//! | [`runtime`] (`sn-runtime`) | Kernel-launch orchestration, CoE runtime with the HBM LRU cache |
+//! | [`models`] (`sn-models`) | Llama2/Mistral/Falcon/Bloom/LLaVA/sparseGPT/FlashFFTConv workloads |
+//! | [`baseline`] (`sn-baseline`) | DGX A100/H100 analytical executors and footprint models |
+//! | [`coe`] (`sn-coe`) | Samba-CoE: experts, router, serving, platform comparison |
+//!
+//! # Quickstart
+//!
+//! Compile a Llama2-7B decode step for one SN40L socket and run it on the
+//! 8-socket node:
+//!
+//! ```
+//! use samba_coe::arch::prelude::*;
+//! use samba_coe::compiler::{Compiler, FusionPolicy};
+//! use samba_coe::models::{build, Phase, TransformerConfig};
+//! use samba_coe::runtime::executor::NodeExecutor;
+//!
+//! let cfg = TransformerConfig::llama2_7b();
+//! let graph = build(&cfg, Phase::Decode { past_tokens: 4096 }, 1, 8)?;
+//! let compiler = Compiler::new(SocketSpec::sn40l(), Calibration::baseline());
+//! let exe = compiler.compile(&graph, FusionPolicy::Spatial)?;
+//! let node = NodeExecutor::new(NodeSpec::sn40l_node(), Calibration::baseline());
+//! let report = node.run(&exe, Orchestration::Hardware);
+//! // A memory-bound decode step takes ~1-2 ms on the node.
+//! assert!(report.total.as_millis() < 5.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness regenerating every table and figure of the paper.
+
+pub use sn_arch as arch;
+pub use sn_baseline as baseline;
+pub use sn_coe as coe;
+pub use sn_compiler as compiler;
+pub use sn_dataflow as dataflow;
+pub use sn_memsim as memsim;
+pub use sn_models as models;
+pub use sn_rdusim as rdusim;
+pub use sn_runtime as runtime;

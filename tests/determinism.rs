@@ -1,0 +1,65 @@
+//! Determinism and serialization: the whole stack is seeded and
+//! reproducible, and its data structures round-trip through serde.
+
+use samba_coe::arch::prelude::*;
+use samba_coe::coe::{ExpertLibrary, PromptGenerator, Router, SambaCoeNode};
+use samba_coe::compiler::{Compiler, FusionPolicy};
+use samba_coe::models::{build, Phase, TransformerConfig};
+
+#[test]
+fn compilation_is_deterministic() {
+    let cfg = TransformerConfig::mistral_7b();
+    let compiler = Compiler::new(SocketSpec::sn40l(), Calibration::baseline());
+    let g1 = build(&cfg, Phase::Decode { past_tokens: 2048 }, 1, 8).unwrap();
+    let g2 = build(&cfg, Phase::Decode { past_tokens: 2048 }, 1, 8).unwrap();
+    assert_eq!(g1, g2, "graph construction is deterministic");
+    let e1 = compiler.compile(&g1, FusionPolicy::Spatial).unwrap();
+    let e2 = compiler.compile(&g2, FusionPolicy::Spatial).unwrap();
+    assert_eq!(e1.kernel_count(), e2.kernel_count());
+    assert_eq!(e1.distinct_programs(), e2.distinct_programs());
+    assert!((e1.execution_time().as_secs() - e2.execution_time().as_secs()).abs() < 1e-15);
+}
+
+#[test]
+fn serving_is_deterministic_across_instances() {
+    let serve = || {
+        let mut node =
+            SambaCoeNode::new(NodeSpec::sn40l_node(), ExpertLibrary::new(40), 512);
+        let mut generator = PromptGenerator::new(7, 512);
+        let mut totals = Vec::new();
+        for _ in 0..4 {
+            totals.push(node.serve_batch(&generator.batch(4), 10).total().as_secs());
+        }
+        totals
+    };
+    assert_eq!(serve(), serve());
+}
+
+#[test]
+fn routing_is_stable_across_library_sizes_queries() {
+    let router = Router::new(5);
+    let mut generator = PromptGenerator::new(5, 256);
+    let prompts = generator.batch(32);
+    let first: Vec<usize> = prompts.iter().map(|p| router.route(p, 150)).collect();
+    let second: Vec<usize> = prompts.iter().map(|p| router.route(p, 150)).collect();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn specs_are_stable_values() {
+    // Spec constructors return identical values on every call — the
+    // foundation of deterministic experiments.
+    assert_eq!(SocketSpec::sn40l(), SocketSpec::sn40l());
+    assert_eq!(NodeSpec::sn40l_node(), NodeSpec::sn40l_node());
+    assert_eq!(DgxSpec::dgx_a100(), DgxSpec::dgx_a100());
+    assert_eq!(Calibration::baseline(), Calibration::baseline());
+}
+
+#[test]
+fn graphs_compare_equal_after_clone() {
+    let cfg = TransformerConfig::llama2_7b();
+    let g = build(&cfg, Phase::Prefill { prompt_tokens: 256 }, 1, 8).unwrap();
+    let h = g.clone();
+    assert_eq!(g, h);
+    assert_eq!(g.total_flops().as_f64(), h.total_flops().as_f64());
+}

@@ -1,0 +1,101 @@
+//! The paper's headline claims, checked end to end against the
+//! reproduction (shape, not absolute numbers — see EXPERIMENTS.md).
+
+use samba_coe::arch::prelude::*;
+use samba_coe::baseline::{dgx_nodes_needed, sn40l_nodes_needed};
+use samba_coe::coe::comparison::{ComparisonModel, Platform};
+use samba_coe::coe::ExpertLibrary;
+use samba_coe::dataflow::intensity::{fusion_levels, FusionLevel};
+use samba_coe::dataflow::monarch::monarch_fig3;
+
+/// §I: "Samba-CoE, a CoE system with 150 experts and a trillion total
+/// parameters."
+#[test]
+fn trillion_parameter_coe() {
+    let lib = ExpertLibrary::samba_coe_150();
+    assert_eq!(lib.len(), 150);
+    assert!(lib.total_params() > 1_000_000_000_000);
+}
+
+/// §I/Table III: "reduces machine footprint by up to 19x."
+#[test]
+fn footprint_reduction_19x() {
+    let expert = TransformerConfigBytes::expert();
+    let sn = sn40l_nodes_needed(&NodeSpec::sn40l_node(), 850, expert);
+    let dgx = dgx_nodes_needed(&DgxSpec::dgx_a100(), 850, expert);
+    assert_eq!(sn, 1);
+    assert_eq!(dgx, 19);
+}
+
+/// §I/Table III: "speeds up model switching time by 15x to 31x."
+#[test]
+fn switching_speedup_15x_to_31x() {
+    let model = ComparisonModel::new(1024);
+    let sn = model.request_latency(Platform::Sn40l, 150, 8, 20).unwrap().switching;
+    let a = model.request_latency(Platform::DgxA100, 150, 8, 20).unwrap().switching;
+    let h = model.request_latency(Platform::DgxH100, 150, 8, 20).unwrap().switching;
+    let va = a / sn;
+    let vh = h / sn;
+    assert!((26.0..=36.0).contains(&va), "vs A100: {va:.1}x (paper 31x)");
+    assert!((13.0..=19.0).contains(&vh), "vs H100: {vh:.1}x (paper 15x)");
+}
+
+/// §I/Table III: "achieves an overall speedup of 3.7x over a DGX H100 and
+/// 6.6x over a DGX A100" (BS=8, 20 output tokens).
+#[test]
+fn overall_speedup_vs_dgx() {
+    let model = ComparisonModel::new(1024);
+    let t = |p| model.request_latency(p, 150, 8, 20).unwrap().total();
+    let sn = t(Platform::Sn40l);
+    let va = t(Platform::DgxA100) / sn;
+    let vh = t(Platform::DgxH100) / sn;
+    assert!((5.0..=10.0).contains(&va), "vs A100: {va:.1}x (paper 6.6x)");
+    assert!((3.0..=6.0).contains(&vh), "vs H100: {vh:.1}x (paper 3.7x)");
+    assert!(va > vh, "A100 gap exceeds H100 gap");
+}
+
+/// §VI-B: "DGXs run out of memory at 150 experts" while "a single SN40L
+/// Node can hold and serve a CoE of up to 850 experts."
+#[test]
+fn oom_boundaries() {
+    let model = ComparisonModel::new(1024);
+    for p in [Platform::DgxA100, Platform::DgxH100] {
+        assert!(model.max_experts(p) >= 150, "{p:?} hosts 150");
+        assert!(model.max_experts(p) < 160, "{p:?} dies shortly after 150");
+    }
+    assert!(model.max_experts(Platform::Sn40l) >= 850);
+}
+
+/// Table I: fusion moves the Monarch FFT example from memory-bound to
+/// compute-bound on an A100-class roofline.
+#[test]
+fn table1_regime_transition() {
+    let levels = fusion_levels(&monarch_fig3());
+    let balance = GpuSpec::a100().balance();
+    assert!(levels[&FusionLevel::None] < balance);
+    assert!(levels[&FusionLevel::Partial] < balance);
+    assert!(levels[&FusionLevel::Full] > balance);
+}
+
+/// §IV: the chip-level aggregates the paper states.
+#[test]
+fn sn40l_headline_specs() {
+    let socket = SocketSpec::sn40l();
+    assert!((socket.peak_bf16().as_tflops() - 638.0).abs() < 2.0);
+    assert_eq!(socket.chip.pcus, 1040);
+    assert_eq!(socket.chip.pmus, 1040);
+    assert_eq!(socket.chip.total_sram(), Bytes::from_mib(520));
+    assert_eq!(socket.hbm.capacity, Bytes::from_gib(64));
+    assert_eq!(socket.ddr.capacity, Bytes::from_tib(1) + Bytes::from_gib(512));
+    let node = NodeSpec::sn40l_node();
+    assert!(node.model_switch_bandwidth().as_tb_per_s() > 1.0, "over 1 TB/s DDR->HBM");
+}
+
+/// Helper so the footprint test reads like the paper's arithmetic.
+struct TransformerConfigBytes;
+
+impl TransformerConfigBytes {
+    fn expert() -> Bytes {
+        samba_coe::models::TransformerConfig::llama2_7b().param_bytes()
+    }
+}
