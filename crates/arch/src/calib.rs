@@ -100,7 +100,10 @@ mod tests {
     fn ho_is_much_cheaper_than_so() {
         let c = Calibration::baseline();
         let ratio = c.so_launch_overhead.as_secs() / c.ho_launch_overhead.as_secs();
-        assert!(ratio > 10.0, "HO must eliminate most launch cost, ratio {ratio}");
+        assert!(
+            ratio > 10.0,
+            "HO must eliminate most launch cost, ratio {ratio}"
+        );
     }
 
     #[test]

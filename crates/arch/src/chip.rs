@@ -153,11 +153,19 @@ pub struct AgcuSpec {
 
 impl AgcuSpec {
     pub fn sn40l() -> Self {
-        AgcuSpec { dma_streams: 8, hardware_orchestration: true, p2p: true }
+        AgcuSpec {
+            dma_streams: 8,
+            hardware_orchestration: true,
+            p2p: true,
+        }
     }
 
     pub fn sn10() -> Self {
-        AgcuSpec { dma_streams: 8, hardware_orchestration: false, p2p: true }
+        AgcuSpec {
+            dma_streams: 8,
+            hardware_orchestration: false,
+            p2p: true,
+        }
     }
 }
 
@@ -223,7 +231,11 @@ impl RduChipSpec {
             dies: 2,
             pcus: 1040,
             pmus: 1040,
-            tile: TileGeometry { rows: 40, cols: 26, agcus: 32 },
+            tile: TileGeometry {
+                rows: 40,
+                cols: 26,
+                agcus: 32,
+            },
             clock: Frequency::from_ghz(1.2),
             pcu: PcuSpec::sn40l(),
             pmu: PmuSpec::sn40l(),
@@ -242,7 +254,11 @@ impl RduChipSpec {
             dies: 1,
             pcus: 640,
             pmus: 640,
-            tile: TileGeometry { rows: 40, cols: 32, agcus: 32 },
+            tile: TileGeometry {
+                rows: 40,
+                cols: 32,
+                agcus: 32,
+            },
             clock: Frequency::from_ghz(1.0),
             pcu: PcuSpec::sn10(),
             pmu: PmuSpec::sn10(),
@@ -268,7 +284,9 @@ impl RduChipSpec {
     /// Aggregate on-chip PMU bandwidth (read + write), the "hundreds of
     /// TBps" figure from §I.
     pub fn aggregate_sram_bandwidth(&self) -> Bandwidth {
-        self.pmu.peak_bandwidth(self.clock).scale(2.0 * self.pmus as f64)
+        self.pmu
+            .peak_bandwidth(self.clock)
+            .scale(2.0 * self.pmus as f64)
     }
 
     /// PCUs per die.
@@ -290,7 +308,10 @@ mod tests {
     fn sn40l_peak_matches_paper() {
         let chip = RduChipSpec::sn40l();
         let tflops = chip.peak_bf16().as_tflops();
-        assert!((tflops - 638.0).abs() < 2.0, "peak {tflops} TFLOPS should be ~638");
+        assert!(
+            (tflops - 638.0).abs() < 2.0,
+            "peak {tflops} TFLOPS should be ~638"
+        );
     }
 
     #[test]

@@ -187,7 +187,11 @@ mod tests {
         let expert = Bytes::from_gb(13.48);
         for dgx in [DgxSpec::dgx_a100(), DgxSpec::dgx_h100()] {
             let max = (dgx.total_expert_capacity().as_f64() / expert.as_f64()) as usize;
-            assert!((145..=155).contains(&max), "{} holds {max} experts", dgx.name);
+            assert!(
+                (145..=155).contains(&max),
+                "{} holds {max} experts",
+                dgx.name
+            );
         }
     }
 

@@ -46,7 +46,10 @@ impl NodeSpec {
 
     /// Aggregate effective HBM bandwidth (after achievable-fraction derate).
     pub fn effective_hbm_bandwidth(&self) -> Bandwidth {
-        self.socket.hbm.effective_bandwidth().scale(self.sockets as f64)
+        self.socket
+            .hbm
+            .effective_bandwidth()
+            .scale(self.sockets as f64)
     }
 
     /// Aggregate DDR capacity — the tier that holds the whole CoE.
@@ -58,7 +61,9 @@ impl NodeSpec {
     /// Node this exceeds 1 TB/s (§VI-B); a TP8-sharded expert copies its
     /// shard on every socket concurrently.
     pub fn model_switch_bandwidth(&self) -> Bandwidth {
-        self.socket.model_switch_bandwidth().scale(self.sockets as f64)
+        self.socket
+            .model_switch_bandwidth()
+            .scale(self.sockets as f64)
     }
 }
 

@@ -71,7 +71,10 @@ mod tests {
     use crate::socket::SocketSpec;
 
     fn a100_like() -> Roofline {
-        Roofline::new(FlopRate::from_tflops(312.0), Bandwidth::from_tb_per_s(2.039))
+        Roofline::new(
+            FlopRate::from_tflops(312.0),
+            Bandwidth::from_tb_per_s(2.039),
+        )
     }
 
     #[test]

@@ -144,7 +144,10 @@ mod tests {
     fn switch_bandwidth_aggregates_past_1tbps_on_8_sockets() {
         let s = SocketSpec::sn40l();
         let node_bw = s.model_switch_bandwidth().scale(8.0);
-        assert!(node_bw.as_tb_per_s() > 1.0, "paper: over 1 TB/s, got {node_bw}");
+        assert!(
+            node_bw.as_tb_per_s() > 1.0,
+            "paper: over 1 TB/s, got {node_bw}"
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let hbm = Bytes::from_gib(64);
 /// assert_eq!(hbm.as_u64(), 64 * 1024 * 1024 * 1024);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Bytes(u64);
 
 impl Bytes {
@@ -583,7 +585,9 @@ impl fmt::Display for FlopRate {
 }
 
 /// A clock-cycle count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycles(u64);
 
 impl Cycles {
@@ -734,7 +738,10 @@ mod tests {
         let f = Frequency::from_ghz(1.2);
         let t = Cycles::new(1_200_000_000) / f;
         assert!((t.as_secs() - 1.0).abs() < 1e-9);
-        assert_eq!(f.cycles_in(TimeSecs::from_secs(1.0)), Cycles::new(1_200_000_000));
+        assert_eq!(
+            f.cycles_in(TimeSecs::from_secs(1.0)),
+            Cycles::new(1_200_000_000)
+        );
     }
 
     #[test]

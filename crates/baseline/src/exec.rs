@@ -66,8 +66,7 @@ impl GpuExecutor {
                 if *participants > 1 {
                     let bytes = graph.tensor(graph.node(kernel[0]).output).bytes();
                     let factor = 2.0 * (*participants as f64 - 1.0) / *participants as f64;
-                    collective +=
-                        Bytes::new((bytes.as_f64() * factor) as u64) / self.dgx.nvlink;
+                    collective += Bytes::new((bytes.as_f64() * factor) as u64) / self.dgx.nvlink;
                 }
                 continue;
             }
@@ -121,7 +120,12 @@ mod tests {
 
     #[test]
     fn h100_beats_a100() {
-        for phase in [Phase::Prefill { prompt_tokens: 4096 }, Phase::Decode { past_tokens: 4096 }] {
+        for phase in [
+            Phase::Prefill {
+                prompt_tokens: 4096,
+            },
+            Phase::Decode { past_tokens: 4096 },
+        ] {
             let g = llama_graph(phase);
             let a = a100().run(&g, LaunchMode::CudaGraph).total;
             let h = h100().run(&g, LaunchMode::CudaGraph).total;
@@ -160,7 +164,9 @@ mod tests {
     fn sn40l_prefill_beats_dgx_moderately() {
         // Prefill is compute-bound; the win comes from fusion keeping the
         // pipeline busy, roughly the paper's 1.5-2x expert-speedup band.
-        let g = llama_graph(Phase::Prefill { prompt_tokens: 4096 });
+        let g = llama_graph(Phase::Prefill {
+            prompt_tokens: 4096,
+        });
         let c = Compiler::new(SocketSpec::sn40l(), Calibration::baseline());
         let exe = c.compile(&g, FusionPolicy::Spatial).unwrap();
         let node = NodeExecutor::new(NodeSpec::sn40l_node(), Calibration::baseline());
@@ -181,7 +187,10 @@ mod tests {
     fn report_accounts_collectives() {
         let g = llama_graph(Phase::Decode { past_tokens: 4096 });
         let r = a100().run(&g, LaunchMode::CudaGraph);
-        assert!(r.collective.as_secs() > 0.0, "TP8 graphs all-reduce every layer");
+        assert!(
+            r.collective.as_secs() > 0.0,
+            "TP8 graphs all-reduce every layer"
+        );
         assert!(r.kernels > 100);
     }
 }

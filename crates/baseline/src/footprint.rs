@@ -56,7 +56,10 @@ mod tests {
         let node = NodeSpec::sn40l_node();
         let e = Bytes::from_gb(EXPERT);
         let ratio = dgx_nodes_needed(&dgx, 850, e) / sn40l_nodes_needed(&node, 850, e);
-        assert!((18..=20).contains(&ratio), "footprint reduction {ratio}x (paper: up to 19x)");
+        assert!(
+            (18..=20).contains(&ratio),
+            "footprint reduction {ratio}x (paper: up to 19x)"
+        );
     }
 
     #[test]
@@ -78,7 +81,13 @@ mod tests {
 
     #[test]
     fn zero_experts_need_zero_nodes() {
-        assert_eq!(dgx_nodes_needed(&DgxSpec::dgx_a100(), 0, Bytes::from_gb(EXPERT)), 0);
-        assert_eq!(sn40l_nodes_needed(&NodeSpec::sn40l_node(), 0, Bytes::from_gb(EXPERT)), 0);
+        assert_eq!(
+            dgx_nodes_needed(&DgxSpec::dgx_a100(), 0, Bytes::from_gb(EXPERT)),
+            0
+        );
+        assert_eq!(
+            sn40l_nodes_needed(&NodeSpec::sn40l_node(), 0, Bytes::from_gb(EXPERT)),
+            0
+        );
     }
 }

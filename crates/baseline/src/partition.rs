@@ -82,11 +82,9 @@ mod tests {
         // retroactively join.
         let g = monarch_fig3();
         let p = gpu_partition(&g, 5);
-        let has_fused_pair = p.iter().any(|k| {
-            k.len() == 2
-                && g.node(k[0]).op.is_gemm()
-                && !g.node(k[1]).op.is_gemm()
-        });
+        let has_fused_pair = p
+            .iter()
+            .any(|k| k.len() == 2 && g.node(k[0]).op.is_gemm() && !g.node(k[1]).op.is_gemm());
         assert!(has_fused_pair, "twiddle mul should fuse onto gemm0");
     }
 
@@ -104,7 +102,15 @@ mod tests {
     #[test]
     fn op_limit_is_respected() {
         let cfg = TransformerConfig::llama2_7b();
-        let g = build(&cfg, Phase::Prefill { prompt_tokens: 1024 }, 1, 8).unwrap();
+        let g = build(
+            &cfg,
+            Phase::Prefill {
+                prompt_tokens: 1024,
+            },
+            1,
+            8,
+        )
+        .unwrap();
         for k in gpu_partition(&g, 5) {
             assert!(k.len() <= 5);
         }

@@ -22,7 +22,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulators");
     g.sample_size(20);
     g.bench_function("rdn_crossing_flows", |b| {
-        let sim = NetSim::new(NetConfig { flow_mode: FlowIdMode::Mpls, ..NetConfig::default() });
+        let sim = NetSim::new(NetConfig {
+            flow_mode: FlowIdMode::Mpls,
+            ..NetConfig::default()
+        });
         let flows: Vec<Flow> = (0..6)
             .map(|i| Flow::unicast(Coord::new(0, i), Coord::new(7, 5 - i), 40))
             .collect();

@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let prefill = build(
         &TransformerConfig::llama2_7b(),
-        Phase::Prefill { prompt_tokens: 4096 },
+        Phase::Prefill {
+            prompt_tokens: 4096,
+        },
         1,
         8,
     )

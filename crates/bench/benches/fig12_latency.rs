@@ -10,7 +10,8 @@ fn bench(c: &mut Criterion) {
     for batch in [8usize, 1] {
         for p in experiments::fig12(batch) {
             let fmt = |t: Option<sn_arch::TimeSecs>| {
-                t.map(|t| t.to_string()).unwrap_or_else(|| "OOM".to_string())
+                t.map(|t| t.to_string())
+                    .unwrap_or_else(|| "OOM".to_string())
             };
             println!(
                 "fig12 bs{batch}: {:>4} experts  sn40l {:>12}  a100 {:>12}  h100 {:>12}",

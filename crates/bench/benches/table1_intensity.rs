@@ -10,7 +10,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     // Emit the reproduced table alongside the timing run.
     for row in experiments::table1() {
-        println!("table1: {:<28} paper {:>7.1}  measured {:>7.1}", row.level, row.paper, row.measured);
+        println!(
+            "table1: {:<28} paper {:>7.1}  measured {:>7.1}",
+            row.level, row.paper, row.measured
+        );
     }
     let mut g = c.benchmark_group("table1");
     g.bench_function("fusion_levels_fig3", |b| {

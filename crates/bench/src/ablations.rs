@@ -45,8 +45,12 @@ pub fn flow_ids() -> Ablation {
         .map(|i| Flow::unicast(Coord::new(0, i), Coord::new(7, 5 - i), 40))
         .collect();
     let run = |mode| {
-        NetSim::new(NetConfig { flow_mode: mode, ..NetConfig::default() }).run(&flows).cycles
-            as f64
+        NetSim::new(NetConfig {
+            flow_mode: mode,
+            ..NetConfig::default()
+        })
+        .run(&flows)
+        .cycles as f64
     };
     Ablation {
         name: "flow-id allocation (MPLS vs global pool)",
@@ -65,7 +69,12 @@ pub fn bank_bits() -> Ablation {
     let stride = word * spec.banks as u64 * 4;
     let addrs: Vec<u64> = (0..16).map(|i| i * stride).collect();
     let fixed = PmuModel::new(spec, BankMapping::Fixed);
-    let tuned = PmuModel::new(spec, BankMapping::Programmable { shift: stride.trailing_zeros() });
+    let tuned = PmuModel::new(
+        spec,
+        BankMapping::Programmable {
+            shift: stride.trailing_zeros(),
+        },
+    );
     Ablation {
         name: "programmable bank bits (double-buffer stride)",
         with_feature: tuned.access_cycles(&addrs).as_u64() as f64,
@@ -95,8 +104,12 @@ pub fn throttling() -> Ablation {
         },
     ];
     let run = |throttle| {
-        NetSim::new(NetConfig { throttle, ..NetConfig::default() }).run(&flows).stall_cycles
-            as f64
+        NetSim::new(NetConfig {
+            throttle,
+            ..NetConfig::default()
+        })
+        .run(&flows)
+        .stall_cycles as f64
     };
     Ablation {
         name: "packet throttling under bursty traffic",
@@ -116,7 +129,11 @@ pub fn p2p_overlap() -> Ablation {
     let compiler = Compiler::new(SocketSpec::sn40l(), Calibration::baseline());
     let exposed = |policy| {
         let exe = compiler.compile(&g, policy).expect("compiles");
-        exe.estimates().iter().map(|e| e.collective).sum::<TimeSecs>().as_micros()
+        exe.estimates()
+            .iter()
+            .map(|e| e.collective)
+            .sum::<TimeSecs>()
+            .as_micros()
     };
     Ablation {
         name: "pipelined P2P collectives",
@@ -148,8 +165,12 @@ pub fn spill_policy() -> Ablation {
             DType::Bf16,
             TensorKind::Weight,
         );
-        cur = b.node("proj", OpKind::Gemm { transpose_b: false }, &[cur, w]).expect("builds");
-        cur = b.node("act", OpKind::Unary(UnaryKind::Gelu), &[cur]).expect("builds");
+        cur = b
+            .node("proj", OpKind::Gemm { transpose_b: false }, &[cur, w])
+            .expect("builds");
+        cur = b
+            .node("act", OpKind::Unary(UnaryKind::Gelu), &[cur])
+            .expect("builds");
     }
     b.mark_output(cur);
     let g = b.build().expect("non-empty");
@@ -161,7 +182,9 @@ pub fn spill_policy() -> Ablation {
     // reuse).
     socket.hbm.capacity = Bytes::from_mib(640);
     let compiler = Compiler::new(socket.clone(), Calibration::baseline());
-    let exe = compiler.compile(&g, FusionPolicy::Unfused).expect("compiles");
+    let exe = compiler
+        .compile(&g, FusionPolicy::Unfused)
+        .expect("compiles");
     let traffic = |policy| {
         memplan::plan_with_policy(&g, exe.kernels(), &socket, policy)
             .spill_traffic()
@@ -194,15 +217,24 @@ pub fn expert_cache() -> Ablation {
     let run = |eviction| {
         let mut rt = CoeRuntime::new(
             &NodeSpec::sn40l_node(),
-            CoeRuntimeConfig { eviction, ..Default::default() },
+            CoeRuntimeConfig {
+                eviction,
+                ..Default::default()
+            },
         );
         for i in 0..64 {
-            rt.register(ModelBinary::weights_only(format!("e{i}"), Bytes::from_gb(13.48)))
-                .expect("64 experts fit DDR");
+            rt.register(ModelBinary::weights_only(
+                format!("e{i}"),
+                Bytes::from_gb(13.48),
+            ))
+            .expect("64 experts fit DDR");
         }
         let mut total = TimeSecs::ZERO;
         for &e in &trace {
-            total += rt.activate(&format!("e{e}")).expect("registered").switch_time;
+            total += rt
+                .activate(&format!("e{e}"))
+                .expect("registered")
+                .switch_time;
         }
         total.as_secs()
     };
@@ -221,17 +253,26 @@ pub fn readonly_elision() -> Ablation {
     let run = |skip| {
         let mut rt = CoeRuntime::new(
             &NodeSpec::sn40l_node(),
-            CoeRuntimeConfig { skip_readonly_copyback: skip, ..Default::default() },
+            CoeRuntimeConfig {
+                skip_readonly_copyback: skip,
+                ..Default::default()
+            },
         );
         for i in 0..50 {
-            rt.register(ModelBinary::weights_only(format!("e{i}"), Bytes::from_gb(13.48)))
-                .expect("50 experts fit DDR");
+            rt.register(ModelBinary::weights_only(
+                format!("e{i}"),
+                Bytes::from_gb(13.48),
+            ))
+            .expect("50 experts fit DDR");
         }
         let mut total = TimeSecs::ZERO;
         for round in 0..3 {
             for i in 0..50 {
                 let _ = round;
-                total += rt.activate(&format!("e{i}")).expect("registered").switch_time;
+                total += rt
+                    .activate(&format!("e{i}"))
+                    .expect("registered")
+                    .switch_time;
             }
         }
         total.as_secs()
@@ -271,7 +312,9 @@ pub fn hbm_tier() -> Ablation {
     let step = |socket: SocketSpec, tp: usize| {
         let g = build(&cfg, Phase::Decode { past_tokens: 4096 }, 1, tp).expect("decode builds");
         let compiler = Compiler::new(socket, calib.clone());
-        let exe = compiler.compile(&g, FusionPolicy::Spatial).expect("compiles");
+        let exe = compiler
+            .compile(&g, FusionPolicy::Spatial)
+            .expect("compiles");
         let node = NodeExecutor::new(NodeSpec::sn40l_node(), calib.clone());
         node.run(&exe, Orchestration::Hardware).total.as_secs()
     };
@@ -294,7 +337,10 @@ pub fn expert_prefetch() -> Ablation {
     let mut prefetched = SambaCoeNode::new(NodeSpec::sn40l_node(), ExpertLibrary::new(150), 1024);
     Ablation {
         name: "expert prefetch overlap",
-        with_feature: prefetched.serve_batch_prefetched(&batch, 20).total().as_secs(),
+        with_feature: prefetched
+            .serve_batch_prefetched(&batch, 20)
+            .total()
+            .as_secs(),
         without_feature: sequential.serve_batch(&batch, 20).total().as_secs(),
         unit: "batch seconds (8 cold prompts)",
         higher_is_better: false,
@@ -353,7 +399,11 @@ mod tests {
     #[test]
     fn lru_beats_fifo_on_looping_trace() {
         let a = expert_cache();
-        assert!(a.factor() > 1.2, "LRU should clearly win: factor {:.2}", a.factor());
+        assert!(
+            a.factor() > 1.2,
+            "LRU should clearly win: factor {:.2}",
+            a.factor()
+        );
     }
 
     #[test]
@@ -365,7 +415,11 @@ mod tests {
     #[test]
     fn hbm_tier_is_critical_for_decode() {
         let a = hbm_tier();
-        assert!(a.factor() > 5.0, "HBM vs DDR decode factor {:.2}", a.factor());
+        assert!(
+            a.factor() > 5.0,
+            "HBM vs DDR decode factor {:.2}",
+            a.factor()
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|all]
+//! repro [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|--faults|all]
 //! ```
 
 use sn_bench::ablations;
@@ -25,9 +25,16 @@ fn table1() {
 
 fn table2() {
     hr("TABLE II: Benchmarks");
-    println!("{:<28} {:>10} {:>14} {:>10}", "Benchmark", "Params(B)", "Phase", "Seq");
+    println!(
+        "{:<28} {:>10} {:>14} {:>10}",
+        "Benchmark", "Params(B)", "Phase", "Seq"
+    );
     for (name, params, phase, seq) in experiments::table2_rows() {
-        let p = if params == 0.0 { "-".to_string() } else { format!("{params:.1}") };
+        let p = if params == 0.0 {
+            "-".to_string()
+        } else {
+            format!("{params:.1}")
+        };
         println!("{name:<28} {p:>10} {phase:>14} {seq:>10}");
     }
 }
@@ -163,9 +170,50 @@ fn extensions() {
     }
 }
 
+fn run_faults() {
+    hr("FAULT INJECTION: single-node degradation vs fault rate (150 experts)");
+    println!(
+        "{:<8} {:>14} {:>12} {:>9} {:>12}",
+        "Rate", "Mean latency", "Recovery%", "Retries", "Batches OK"
+    );
+    for p in sn_bench::faults::node_fault_sweep() {
+        println!(
+            "{:<8} {:>14} {:>11.1}% {:>9} {:>9}/{}",
+            format!("{:.0}%", p.rate * 100.0),
+            p.mean_latency.to_string(),
+            p.recovery_fraction * 100.0,
+            p.retries,
+            p.completed,
+            p.attempted
+        );
+    }
+    println!("(expert-load/socket/router faults at the given rate; 3-retry backoff)");
+
+    hr("FAULT INJECTION: 3-node cluster failover vs fault rate (300 experts)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>9} {:>12}",
+        "Rate", "Mean latency", "Availability", "Re-homed", "Nodes down"
+    );
+    for p in sn_bench::faults::cluster_fault_sweep() {
+        println!(
+            "{:<8} {:>14} {:>13.1}% {:>9} {:>12}",
+            format!("{:.0}%", p.rate * 100.0),
+            p.mean_latency.to_string(),
+            p.availability * 100.0,
+            p.rehomed,
+            p.failed_nodes
+        );
+    }
+    println!("(node crashes at the given rate per node per batch; crashed nodes'");
+    println!(" prompts re-home their experts onto survivors over DDR)");
+}
+
 fn run_ablations() {
     hr("ABLATIONS (design choices from DESIGN.md)");
-    println!("{:<46} {:>12} {:>12} {:>8}", "Feature", "With", "Without", "Factor");
+    println!(
+        "{:<46} {:>12} {:>12} {:>8}",
+        "Feature", "With", "Without", "Factor"
+    );
     for a in ablations::all() {
         println!(
             "{:<46} {:>12.4} {:>12.4} {:>7.2}x   ({})",
@@ -176,7 +224,10 @@ fn run_ablations() {
             a.unit
         );
     }
-    assert!(ablations::reorder_smoke(), "sequence-ID reordering smoke check");
+    assert!(
+        ablations::reorder_smoke(),
+        "sequence-ID reordering smoke check"
+    );
 }
 
 fn main() {
@@ -193,6 +244,7 @@ fn main() {
         "table3" => table3(),
         "ablations" => run_ablations(),
         "extensions" => extensions(),
+        "faults" | "--faults" => run_faults(),
         "all" => {
             table1();
             table2();
@@ -203,12 +255,13 @@ fn main() {
             fig13();
             table3();
             extensions();
+            run_faults();
             run_ablations();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of table1|table2|fig1|fig10|\
-                 fig11|fig12|fig13|table3|ablations|extensions|all"
+                 fig11|fig12|fig13|table3|ablations|extensions|--faults|all"
             );
             std::process::exit(2);
         }

@@ -28,7 +28,11 @@ pub fn table1() -> Vec<Table1Row> {
     let g = monarch_fig3();
     let levels = fusion_levels(&g);
     vec![
-        Table1Row { level: "No Fusion", paper: 39.5, measured: levels[&FusionLevel::None] },
+        Table1Row {
+            level: "No Fusion",
+            paper: 39.5,
+            measured: levels[&FusionLevel::None],
+        },
         Table1Row {
             level: "Gemm0 - Mul - Transpose",
             paper: 102.6,
@@ -110,12 +114,17 @@ pub fn fig10() -> Vec<Fig10Row> {
         }
     })
     .expect("benchmark threads do not panic");
-    rows.into_iter().map(|r| r.expect("every benchmark filled its slot")).collect()
+    rows.into_iter()
+        .map(|r| r.expect("every benchmark filled its slot"))
+        .collect()
 }
 
 /// Figure 11: the kernel-call ratios (projection of [`fig10`]).
 pub fn fig11() -> Vec<(String, f64)> {
-    fig10().into_iter().map(|r| (r.name, r.kernel_ratio)).collect()
+    fig10()
+        .into_iter()
+        .map(|r| (r.name, r.kernel_ratio))
+        .collect()
 }
 
 /// Figure 1: per-platform latency breakdown for one 20-token request
@@ -144,7 +153,9 @@ pub struct Fig12Point {
 
 /// Expert counts swept in Figure 12/13.
 pub fn expert_sweep() -> Vec<usize> {
-    vec![1, 5, 10, 20, 30, 40, 46, 50, 60, 80, 100, 120, 150, 200, 300, 500, 700, 850]
+    vec![
+        1, 5, 10, 20, 30, 40, 46, 50, 60, 80, 100, 120, 150, 200, 300, 500, 700, 850,
+    ]
 }
 
 /// Figure 12: CoE latency vs expert count at a given batch size
@@ -155,9 +166,15 @@ pub fn fig12(batch: usize) -> Vec<Fig12Point> {
         .into_iter()
         .map(|n| Fig12Point {
             experts: n,
-            sn40l: model.request_latency(Platform::Sn40l, n, batch, 20).map(|b| b.total()),
-            dgx_a100: model.request_latency(Platform::DgxA100, n, batch, 20).map(|b| b.total()),
-            dgx_h100: model.request_latency(Platform::DgxH100, n, batch, 20).map(|b| b.total()),
+            sn40l: model
+                .request_latency(Platform::Sn40l, n, batch, 20)
+                .map(|b| b.total()),
+            dgx_a100: model
+                .request_latency(Platform::DgxA100, n, batch, 20)
+                .map(|b| b.total()),
+            dgx_h100: model
+                .request_latency(Platform::DgxH100, n, batch, 20)
+                .map(|b| b.total()),
         })
         .collect()
 }
@@ -272,7 +289,10 @@ pub fn table3() -> Vec<Table3Row> {
 /// Table III's last row: the expert count where each platform OOMs.
 pub fn oom_experts() -> Vec<(Platform, usize)> {
     let model = ComparisonModel::new(PROMPT_TOKENS);
-    Platform::ALL.iter().map(|&p| (p, model.max_experts(p))).collect()
+    Platform::ALL
+        .iter()
+        .map(|&p| (p, model.max_experts(p)))
+        .collect()
 }
 
 /// Extension experiment: INT8-quantized experts double every capacity
@@ -281,7 +301,9 @@ pub fn oom_experts() -> Vec<(Platform, usize)> {
 pub fn quantization_extension() -> Vec<(&'static str, usize, usize, usize, usize)> {
     use sn_models::TransformerConfig;
     let bf16 = TransformerConfig::llama2_7b().param_bytes();
-    let int8 = TransformerConfig::llama2_7b().quantized_int8().param_bytes();
+    let int8 = TransformerConfig::llama2_7b()
+        .quantized_int8()
+        .param_bytes();
     let node = NodeSpec::sn40l_node();
     let dgx = DgxSpec::dgx_a100();
     let fit = |cap: Bytes, per: Bytes| (cap.as_f64() / per.as_f64()) as usize;
@@ -321,7 +343,10 @@ pub fn hbm_sensitivity() -> Vec<(u64, f64)> {
             node.socket.hbm.capacity = Bytes::from_gib(hbm_gib / node.sockets as u64);
             let mut rt = CoeRuntime::new(
                 &node,
-                CoeRuntimeConfig { hbm_reserved: Bytes::from_gib(48), ..Default::default() },
+                CoeRuntimeConfig {
+                    hbm_reserved: Bytes::from_gib(48),
+                    ..Default::default()
+                },
             );
             for e in library.experts() {
                 rt.register(sn_runtime::coe::ModelBinary::weights_only(
@@ -412,8 +437,14 @@ mod tests {
         let rows = hbm_sensitivity();
         let first = rows.first().unwrap().1;
         let last = rows.last().unwrap().1;
-        assert!(last < first * 0.6, "miss rate should fall with HBM: {first:.2} -> {last:.2}");
-        assert!(last < 0.55, "512 GiB absorbs most of the skewed working set: {last:.2}");
+        assert!(
+            last < first * 0.6,
+            "miss rate should fall with HBM: {first:.2} -> {last:.2}"
+        );
+        assert!(
+            last < 0.55,
+            "512 GiB absorbs most of the skewed working set: {last:.2}"
+        );
     }
 
     #[test]

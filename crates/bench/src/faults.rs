@@ -1,0 +1,203 @@
+//! Degraded-mode serving curves: latency and availability vs fault rate.
+//!
+//! The paper's serving numbers assume a healthy machine. These sweeps
+//! quantify how gracefully the Samba-CoE stack degrades when the fault
+//! layer injects DMA corruption, socket drops, router timeouts, and node
+//! crashes at increasing rates — the curves behind `repro --faults`.
+
+use sn_arch::{NodeSpec, TimeSecs};
+use sn_coe::{CoeCluster, ExpertLibrary, PromptGenerator, SambaCoeNode};
+use sn_faults::{FaultPlan, FaultSite, FaultSpec, RetryPolicy};
+use sn_runtime::coe::CoeError;
+use std::sync::Arc;
+
+/// Fault rates swept by both curves.
+pub const FAULT_RATES: [f64; 5] = [0.0, 0.01, 0.05, 0.1, 0.2];
+
+const SEED: u64 = 0xFA_17;
+const PROMPT_TOKENS: usize = 512;
+const OUTPUT_TOKENS: usize = 10;
+const BATCHES: usize = 6;
+const BATCH_SIZE: usize = 8;
+
+/// One point of the single-node degradation curve.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeFaultPoint {
+    /// Injected per-operation fault rate (fail; slowdowns ride at the
+    /// same rate with a 2x factor on the socket fabric).
+    pub rate: f64,
+    /// Mean latency of the batches that completed.
+    pub mean_latency: TimeSecs,
+    /// Mean fraction of completed-batch time spent on fault recovery.
+    pub recovery_fraction: f64,
+    /// Retries absorbed across all completed batches.
+    pub retries: u32,
+    /// Batches that completed despite injected faults.
+    pub completed: usize,
+    /// Batches attempted.
+    pub attempted: usize,
+}
+
+/// Sweeps the single-node serve path: expert-load, socket, and router
+/// faults at each rate, absorbed by the standard retry policy.
+pub fn node_fault_sweep() -> Vec<NodeFaultPoint> {
+    FAULT_RATES
+        .iter()
+        .map(|&rate| {
+            let plan = Arc::new(
+                FaultPlan::new(SEED)
+                    .with_site(FaultSite::ExpertLoad, FaultSpec::failing(rate))
+                    .with_site(
+                        FaultSite::SocketLink,
+                        FaultSpec {
+                            fail_rate: rate,
+                            slow_rate: rate,
+                            slow_factor: 2.0,
+                        },
+                    )
+                    .with_site(FaultSite::RouterDecision, FaultSpec::failing(rate)),
+            );
+            let mut node = SambaCoeNode::new(
+                NodeSpec::sn40l_node(),
+                ExpertLibrary::new(150),
+                PROMPT_TOKENS,
+            )
+            .with_faults(plan, RetryPolicy::standard());
+            let mut generator = PromptGenerator::new(42, PROMPT_TOKENS);
+            let mut latency = TimeSecs::ZERO;
+            let mut recovery_fraction = 0.0;
+            let mut retries = 0;
+            let mut completed = 0;
+            for _ in 0..BATCHES {
+                let batch = generator.batch(BATCH_SIZE);
+                if let Ok(report) = node.try_serve_batch(&batch, OUTPUT_TOKENS) {
+                    latency += report.total();
+                    recovery_fraction += report.recovery_fraction();
+                    retries += report.retries;
+                    completed += 1;
+                }
+            }
+            let denom = completed.max(1) as f64;
+            NodeFaultPoint {
+                rate,
+                mean_latency: latency / denom,
+                recovery_fraction: recovery_fraction / denom,
+                retries,
+                completed,
+                attempted: BATCHES,
+            }
+        })
+        .collect()
+}
+
+/// One point of the cluster failover curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterFaultPoint {
+    /// Injected fault rate: expert-load failures per load, and node
+    /// crashes per node per batch.
+    pub rate: f64,
+    /// Mean batch latency (completed batches).
+    pub mean_latency: TimeSecs,
+    /// Prompts served over prompts offered, across the whole sweep.
+    pub availability: f64,
+    /// Experts re-homed onto survivors after node crashes.
+    pub rehomed: usize,
+    /// Nodes down by the end of the run (of 3).
+    pub failed_nodes: usize,
+}
+
+/// Sweeps a 3-node cluster: expert-load faults plus node crashes, with
+/// prompts from crashed nodes failing over to survivors.
+pub fn cluster_fault_sweep() -> Vec<ClusterFaultPoint> {
+    FAULT_RATES
+        .iter()
+        .map(|&rate| {
+            let plan = Arc::new(
+                FaultPlan::new(SEED)
+                    .with_site(FaultSite::ExpertLoad, FaultSpec::failing(rate))
+                    .with_site(FaultSite::NodeFailure, FaultSpec::failing(rate)),
+            );
+            let mut cluster = CoeCluster::new(
+                NodeSpec::sn40l_node(),
+                3,
+                ExpertLibrary::new(300),
+                PROMPT_TOKENS,
+            )
+            .expect("3 nodes hold 300 experts")
+            .with_faults(plan, RetryPolicy::standard());
+            let mut generator = PromptGenerator::new(42, PROMPT_TOKENS);
+            let mut latency = TimeSecs::ZERO;
+            let mut served = 0usize;
+            let mut offered = 0usize;
+            let mut rehomed = 0;
+            let mut completed = 0;
+            for _ in 0..BATCHES {
+                let batch = generator.batch(BATCH_SIZE);
+                offered += batch.len();
+                match cluster.try_serve_batch(&batch, OUTPUT_TOKENS) {
+                    Ok(report) => {
+                        latency += report.latency;
+                        served += report.prompts_per_node.iter().sum::<usize>();
+                        rehomed += report.rehomed_experts;
+                        completed += 1;
+                    }
+                    Err(CoeError::NoHealthyNodes) => break,
+                    Err(e) => panic!("unexpected cluster error: {e}"),
+                }
+            }
+            ClusterFaultPoint {
+                rate,
+                mean_latency: latency / completed.max(1) as f64,
+                availability: if offered == 0 {
+                    0.0
+                } else {
+                    served as f64 / offered as f64
+                },
+                rehomed,
+                failed_nodes: cluster.failed_nodes().len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_point_is_clean() {
+        let sweep = node_fault_sweep();
+        assert_eq!(sweep[0].rate, 0.0);
+        assert_eq!(sweep[0].retries, 0);
+        assert_eq!(sweep[0].recovery_fraction, 0.0);
+        assert_eq!(sweep[0].completed, sweep[0].attempted);
+    }
+
+    #[test]
+    fn latency_degrades_monotonically_enough() {
+        // Not strictly monotone batch to batch (fault draws are lumpy),
+        // but the top rate must cost more than the clean baseline.
+        let sweep = node_fault_sweep();
+        let clean = sweep[0].mean_latency.as_secs();
+        let worst = sweep.last().unwrap().mean_latency.as_secs();
+        assert!(
+            worst > clean,
+            "20% faults must cost latency: {worst} vs {clean}"
+        );
+        assert!(sweep.last().unwrap().retries > 0);
+    }
+
+    #[test]
+    fn cluster_sweep_keeps_availability_high_via_failover() {
+        let sweep = cluster_fault_sweep();
+        assert_eq!(sweep[0].availability, 1.0, "no faults, no drops");
+        for point in &sweep {
+            assert!(
+                point.availability > 0.9,
+                "failover keeps availability up at rate {}: {}",
+                point.rate,
+                point.availability
+            );
+        }
+    }
+}

@@ -11,9 +11,11 @@ use crate::router::{Prompt, Router};
 use serde::{Deserialize, Serialize};
 use sn_arch::{Calibration, NodeSpec, Orchestration, TimeSecs};
 use sn_compiler::{Compiler, Executable, FusionPolicy};
+use sn_faults::{FaultDecision, FaultPlan, FaultSite, RetryPolicy};
 use sn_models::{build, Phase};
 use sn_runtime::coe::{CoeError, CoeRuntime, CoeRuntimeConfig, ModelBinary};
 use sn_runtime::executor::NodeExecutor;
+use std::sync::Arc;
 
 /// Result of one batch served by the cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,19 +28,58 @@ pub struct ClusterReport {
     pub prompts_per_node: Vec<usize>,
     /// Total expert misses across nodes.
     pub expert_misses: usize,
+    /// Nodes that were down while this batch was served.
+    pub failed_nodes: Vec<usize>,
+    /// Experts re-registered onto survivors because their home node
+    /// failed (counted once per expert, at first failover).
+    pub rehomed_experts: usize,
+    /// Latency charged to survivors for re-homing expert weights over
+    /// DDR (part of `per_node` / `latency` already; broken out here).
+    pub failover_penalty: TimeSecs,
+    /// Retry and backoff time absorbed by injected expert-load faults on
+    /// the serving nodes (also already inside `latency`).
+    pub recovery: TimeSecs,
+    /// Prompts no survivor could serve (DDR exhausted or persistent load
+    /// faults) — the availability loss of the batch.
+    pub dropped_prompts: usize,
 }
 
 impl ClusterReport {
-    /// Load imbalance: busiest node time over mean node time (1.0 is
-    /// perfectly balanced).
+    /// Load imbalance: busiest node time over the mean time of nodes that
+    /// actually served prompts (1.0 is perfectly balanced).
+    ///
+    /// Failed nodes and legitimately idle nodes (no prompts routed to
+    /// them) are both excluded from the mean: an idle node is not
+    /// imbalance among the working set, and a dead node's zero busy time
+    /// would drag the mean down and overstate imbalance. Returns 1.0 when
+    /// nothing was served at all.
     pub fn imbalance(&self) -> f64 {
-        let busy: Vec<f64> =
-            self.per_node.iter().map(|t| t.as_secs()).filter(|&t| t > 0.0).collect();
+        let busy: Vec<f64> = self
+            .per_node
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.prompts_per_node[i] > 0 && !self.failed_nodes.contains(&i))
+            .map(|(_, t)| t.as_secs())
+            .collect();
         if busy.is_empty() {
             return 1.0;
         }
         let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
         self.latency.as_secs() / mean
+    }
+
+    /// Fraction of prompts that completed (1.0 when nothing dropped).
+    pub fn availability(&self) -> f64 {
+        let served: usize = self.prompts_per_node.iter().sum();
+        let offered = served + self.dropped_prompts;
+        if offered == 0 {
+            1.0
+        } else {
+            served as f64 / offered as f64
+        }
     }
 }
 
@@ -52,6 +93,14 @@ pub struct CoeCluster {
     prefill_exe: Executable,
     decode_exe: Executable,
     router_steps: f64,
+    /// Current DDR home of each expert; starts round-robin and moves to a
+    /// survivor when the home node fails.
+    homes: Vec<usize>,
+    /// Nodes currently down (forced via [`CoeCluster::fail_node`] or drawn
+    /// from the fault plan).
+    failed: Vec<bool>,
+    faults: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
 }
 
 impl CoeCluster {
@@ -76,22 +125,34 @@ impl CoeCluster {
         let calib = Calibration::baseline();
         let compiler = Compiler::new(node.socket.clone(), calib.clone());
         let cfg = library.config().clone();
-        let prefill_graph = build(&cfg, Phase::Prefill { prompt_tokens }, 1, node.sockets)
-            .expect("prefill builds");
-        let decode_graph =
-            build(&cfg, Phase::Decode { past_tokens: prompt_tokens }, 1, node.sockets)
-                .expect("decode builds");
-        let prefill_exe =
-            compiler.compile(&prefill_graph, FusionPolicy::Spatial).expect("prefill compiles");
-        let decode_exe =
-            compiler.compile(&decode_graph, FusionPolicy::Spatial).expect("decode compiles");
-        let mut runtimes: Vec<CoeRuntime> =
-            (0..nodes).map(|_| CoeRuntime::new(&node, CoeRuntimeConfig::default())).collect();
+        let prefill_graph =
+            build(&cfg, Phase::Prefill { prompt_tokens }, 1, node.sockets).expect("prefill builds");
+        let decode_graph = build(
+            &cfg,
+            Phase::Decode {
+                past_tokens: prompt_tokens,
+            },
+            1,
+            node.sockets,
+        )
+        .expect("decode builds");
+        let prefill_exe = compiler
+            .compile(&prefill_graph, FusionPolicy::Spatial)
+            .expect("prefill compiles");
+        let decode_exe = compiler
+            .compile(&decode_graph, FusionPolicy::Spatial)
+            .expect("decode compiles");
+        let mut runtimes: Vec<CoeRuntime> = (0..nodes)
+            .map(|_| CoeRuntime::new(&node, CoeRuntimeConfig::default()))
+            .collect();
         for (i, e) in library.experts().iter().enumerate() {
-            runtimes[i % nodes]
-                .register(ModelBinary::weights_only(e.name.clone(), library.expert_bytes()))?;
+            runtimes[i % nodes].register(ModelBinary::weights_only(
+                e.name.clone(),
+                library.expert_bytes(),
+            ))?;
         }
         let executor = NodeExecutor::new(node, calib.clone());
+        let homes = (0..library.len()).map(|e| e % nodes).collect();
         Ok(CoeCluster {
             library,
             router: Router::new(0xc1a5fe2),
@@ -100,7 +161,26 @@ impl CoeCluster {
             prefill_exe,
             decode_exe,
             router_steps: calib.router_equiv_decode_steps,
+            homes,
+            failed: vec![false; nodes],
+            faults: None,
+            retry: RetryPolicy::standard(),
         })
+    }
+
+    /// Attaches a fault plan and retry budget: every node's runtime then
+    /// consults the plan on expert loads, and
+    /// [`CoeCluster::try_serve_batch`] draws per-batch node failures at
+    /// [`FaultSite::NodeFailure`].
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>, retry: RetryPolicy) -> Self {
+        self.runtimes = self
+            .runtimes
+            .into_iter()
+            .map(|rt| rt.with_faults(Arc::clone(&plan), retry))
+            .collect();
+        self.faults = Some(plan);
+        self.retry = retry;
+        self
     }
 
     /// Number of nodes.
@@ -108,22 +188,66 @@ impl CoeCluster {
         self.runtimes.len()
     }
 
-    /// The node owning an expert.
+    /// The node currently owning an expert (round-robin until failover
+    /// re-homes it).
     pub fn owner(&self, expert: usize) -> usize {
-        expert % self.runtimes.len()
+        self.homes[expert]
+    }
+
+    /// Forces a node down: its prompts re-route to survivors on the next
+    /// [`CoeCluster::try_serve_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node index.
+    pub fn fail_node(&mut self, node: usize) {
+        self.failed[node] = true;
+    }
+
+    /// Brings a failed node back (already re-homed experts stay on their
+    /// survivors; the restored node serves what still lives on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node index.
+    pub fn restore_node(&mut self, node: usize) {
+        self.failed[node] = false;
+    }
+
+    /// Indices of currently failed nodes.
+    pub fn failed_nodes(&self) -> Vec<usize> {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &down)| down)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     fn router_time(&self) -> TimeSecs {
-        let prefill = self.executor.run(&self.prefill_exe, Orchestration::Hardware).total;
-        let step = self.executor.run(&self.decode_exe, Orchestration::Hardware).total;
+        let prefill = self
+            .executor
+            .run(&self.prefill_exe, Orchestration::Hardware)
+            .total;
+        let step = self
+            .executor
+            .run(&self.decode_exe, Orchestration::Hardware)
+            .total;
         prefill + step * self.router_steps
     }
 
     fn model_run_time(&self, output_tokens: usize) -> TimeSecs {
-        let prefill = self.executor.run(&self.prefill_exe, Orchestration::Hardware).total;
+        let prefill = self
+            .executor
+            .run(&self.prefill_exe, Orchestration::Hardware)
+            .total;
         let decode = self
             .executor
-            .run_decode_loop(&self.decode_exe, Orchestration::Hardware, output_tokens.max(1))
+            .run_decode_loop(
+                &self.decode_exe,
+                Orchestration::Hardware,
+                output_tokens.max(1),
+            )
             .total;
         prefill + decode
     }
@@ -145,8 +269,9 @@ impl CoeCluster {
             per_node_prompts[owner] += 1;
             if seen.insert(e) {
                 let name = self.library.expert(e).name.clone();
-                let outcome =
-                    self.runtimes[owner].activate(&name).expect("expert registered on owner");
+                let outcome = self.runtimes[owner]
+                    .activate(&name)
+                    .expect("expert registered on owner");
                 if !outcome.hit {
                     misses += 1;
                 }
@@ -165,7 +290,221 @@ impl CoeCluster {
             })
             .collect();
         let latency = per_node.iter().copied().fold(TimeSecs::ZERO, TimeSecs::max);
-        ClusterReport { latency, per_node, prompts_per_node: per_node_prompts, expert_misses: misses }
+        ClusterReport {
+            latency,
+            per_node,
+            prompts_per_node: per_node_prompts,
+            expert_misses: misses,
+            failed_nodes: Vec::new(),
+            rehomed_experts: 0,
+            failover_penalty: TimeSecs::ZERO,
+            recovery: TimeSecs::ZERO,
+            dropped_prompts: 0,
+        }
+    }
+
+    /// Picks the survivor to adopt a re-homed expert: the healthy node
+    /// with the fewest prompts assigned so far (ties to the lowest
+    /// index), skipping nodes whose DDR is already full.
+    fn adopt_expert(
+        &mut self,
+        expert: usize,
+        loads: &[usize],
+    ) -> Result<Option<(usize, bool)>, CoeError> {
+        let name = self.library.expert(expert).name.clone();
+        let bytes = self.library.expert_bytes();
+        let mut survivors: Vec<usize> = (0..self.runtimes.len())
+            .filter(|&i| !self.failed[i])
+            .collect();
+        survivors.sort_by_key(|&i| (loads[i], i));
+        for s in survivors {
+            match self.runtimes[s].register(ModelBinary::weights_only(name.clone(), bytes)) {
+                Ok(()) => {
+                    self.homes[expert] = s;
+                    return Ok(Some((s, true)));
+                }
+                // Already adopted by this survivor in an earlier batch —
+                // the weights are there, no new transfer needed.
+                Err(CoeError::Duplicate(_)) => {
+                    self.homes[expert] = s;
+                    return Ok(Some((s, false)));
+                }
+                Err(CoeError::DdrFull(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Degraded-mode serving: like [`CoeCluster::serve_batch`], but nodes
+    /// can be down — forced via [`CoeCluster::fail_node`] or drawn from
+    /// the attached fault plan at [`FaultSite::NodeFailure`] (one draw per
+    /// healthy node per batch; a `Fail` crashes the node persistently).
+    ///
+    /// Prompts routed to a dead node fail over: the expert re-homes onto
+    /// the least-loaded survivor (a DDR registration plus a weight
+    /// transfer charged to that survivor and to `failover_penalty`), and
+    /// the prompt executes there. Prompts nobody can adopt (survivor DDR
+    /// exhausted) or whose expert never loads intact are dropped and
+    /// counted in `dropped_prompts`. Expert-load faults on survivors are
+    /// retried through each runtime's policy, with retry time in
+    /// `recovery`.
+    ///
+    /// With no plan attached and no failed nodes this delegates to
+    /// [`CoeCluster::serve_batch`] — reports come out bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::NoHealthyNodes`] when every node is down.
+    pub fn try_serve_batch(
+        &mut self,
+        prompts: &[Prompt],
+        output_tokens: usize,
+    ) -> Result<ClusterReport, CoeError> {
+        assert!(!prompts.is_empty(), "empty batch");
+        if let Some(plan) = self.faults.clone() {
+            // Per-batch crash draws for nodes still standing.
+            for i in 0..self.runtimes.len() {
+                if !self.failed[i]
+                    && matches!(plan.decide(FaultSite::NodeFailure), FaultDecision::Fail)
+                {
+                    self.failed[i] = true;
+                }
+            }
+        }
+        let zero_plan = self.faults.as_ref().map(|p| p.is_zero()).unwrap_or(true);
+        if zero_plan && !self.failed.iter().any(|&down| down) {
+            // Nothing can inject and nothing is down: take the exact
+            // fault-free arithmetic path so reports stay bit-identical.
+            return Ok(self.serve_batch(prompts, output_tokens));
+        }
+        self.serve_batch_degraded(prompts, output_tokens)
+    }
+
+    /// The failover serving path; assumes at least one fault source is
+    /// live (failed nodes or a nonzero plan).
+    fn serve_batch_degraded(
+        &mut self,
+        prompts: &[Prompt],
+        output_tokens: usize,
+    ) -> Result<ClusterReport, CoeError> {
+        let nodes = self.runtimes.len();
+        let n_experts = self.library.len();
+        if self.failed.iter().all(|&down| down) {
+            return Err(CoeError::NoHealthyNodes);
+        }
+        let rehome_time =
+            self.library.expert_bytes() / self.executor.node().model_switch_bandwidth();
+        let mut per_node_prompts = vec![0usize; nodes];
+        let mut per_node_switch = vec![TimeSecs::ZERO; nodes];
+        let mut per_node_recovery = vec![TimeSecs::ZERO; nodes];
+        let mut per_node_penalty = vec![TimeSecs::ZERO; nodes];
+        let mut misses = 0;
+        let mut rehomed = 0;
+        let mut dropped = 0;
+        // Expert -> node it is serving on this batch, or None if its load
+        // is irrecoverably faulted / nobody could adopt it.
+        let mut placed: std::collections::HashMap<usize, Option<usize>> =
+            std::collections::HashMap::new();
+        for p in prompts {
+            let e = self.router.route(p, n_experts);
+            let target = match placed.get(&e) {
+                Some(&t) => t,
+                None => {
+                    let t = self.place_expert(
+                        e,
+                        &per_node_prompts,
+                        rehome_time,
+                        &mut per_node_switch,
+                        &mut per_node_recovery,
+                        &mut per_node_penalty,
+                        &mut misses,
+                        &mut rehomed,
+                    )?;
+                    placed.insert(e, t);
+                    t
+                }
+            };
+            match target {
+                Some(node) => per_node_prompts[node] += 1,
+                None => dropped += 1,
+            }
+        }
+        let router = self.router_time();
+        let run = self.model_run_time(output_tokens);
+        let per_node: Vec<TimeSecs> = (0..nodes)
+            .map(|i| {
+                if per_node_prompts[i] == 0 {
+                    TimeSecs::ZERO
+                } else {
+                    router
+                        + per_node_switch[i]
+                        + run * per_node_prompts[i] as f64
+                        + per_node_recovery[i]
+                        + per_node_penalty[i]
+                }
+            })
+            .collect();
+        let latency = per_node.iter().copied().fold(TimeSecs::ZERO, TimeSecs::max);
+        Ok(ClusterReport {
+            latency,
+            per_node,
+            prompts_per_node: per_node_prompts,
+            expert_misses: misses,
+            failed_nodes: self.failed_nodes(),
+            rehomed_experts: rehomed,
+            failover_penalty: per_node_penalty.iter().copied().sum(),
+            recovery: per_node_recovery.iter().copied().sum(),
+            dropped_prompts: dropped,
+        })
+    }
+
+    /// Finds (re-homing if needed) and activates `expert` for this batch,
+    /// charging switch, recovery, and failover costs to the serving node.
+    /// Returns the serving node, or `None` when the prompt set for this
+    /// expert must drop.
+    #[allow(clippy::too_many_arguments)]
+    fn place_expert(
+        &mut self,
+        expert: usize,
+        loads: &[usize],
+        rehome_time: TimeSecs,
+        per_node_switch: &mut [TimeSecs],
+        per_node_recovery: &mut [TimeSecs],
+        per_node_penalty: &mut [TimeSecs],
+        misses: &mut usize,
+        rehomed: &mut usize,
+    ) -> Result<Option<usize>, CoeError> {
+        let home = self.homes[expert];
+        let serving = if self.failed[home] {
+            match self.adopt_expert(expert, loads)? {
+                Some((survivor, newly_homed)) => {
+                    if newly_homed {
+                        *rehomed += 1;
+                        per_node_penalty[survivor] += rehome_time;
+                    }
+                    survivor
+                }
+                None => return Ok(None),
+            }
+        } else {
+            home
+        };
+        let name = self.library.expert(expert).name.clone();
+        match self.runtimes[serving].activate_with_recovery(&name) {
+            Ok((outcome, recovery)) => {
+                if !outcome.hit {
+                    *misses += 1;
+                }
+                per_node_switch[serving] += outcome.switch_time;
+                per_node_recovery[serving] += recovery.time;
+                Ok(Some(serving))
+            }
+            // The expert never loaded intact: every prompt routed to it
+            // this batch drops (the weights in DDR are suspect).
+            Err(CoeError::LoadFault { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -178,31 +517,23 @@ mod tests {
     #[test]
     fn cluster_hosts_experts_beyond_one_node() {
         // 2000 experts (> 979 per node) across three nodes.
-        let cluster = CoeCluster::new(
-            NodeSpec::sn40l_node(),
-            3,
-            ExpertLibrary::new(2000),
-            512,
-        );
+        let cluster = CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(2000), 512);
         assert!(cluster.is_ok());
     }
 
     #[test]
     fn undersized_cluster_errors() {
-        let err = CoeCluster::new(
-            NodeSpec::sn40l_node(),
-            2,
-            ExpertLibrary::new(2000),
-            512,
+        let err = CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(2000), 512);
+        assert!(
+            matches!(err, Err(CoeError::DdrFull(_))),
+            "1000 experts/node exceeds DDR"
         );
-        assert!(matches!(err, Err(CoeError::DdrFull(_))), "1000 experts/node exceeds DDR");
     }
 
     #[test]
     fn batches_fan_out_and_run_concurrently() {
         let mut cluster =
-            CoeCluster::new(NodeSpec::sn40l_node(), 4, ExpertLibrary::new(400), 512)
-                .expect("fits");
+            CoeCluster::new(NodeSpec::sn40l_node(), 4, ExpertLibrary::new(400), 512).expect("fits");
         let mut generator = PromptGenerator::new(17, 512);
         let batch = generator.batch(16);
         let report = cluster.serve_batch(&batch, 10);
@@ -217,11 +548,9 @@ mod tests {
     #[test]
     fn more_nodes_cut_batch_latency() {
         let mut one =
-            CoeCluster::new(NodeSpec::sn40l_node(), 1, ExpertLibrary::new(400), 512)
-                .expect("fits");
+            CoeCluster::new(NodeSpec::sn40l_node(), 1, ExpertLibrary::new(400), 512).expect("fits");
         let mut four =
-            CoeCluster::new(NodeSpec::sn40l_node(), 4, ExpertLibrary::new(400), 512)
-                .expect("fits");
+            CoeCluster::new(NodeSpec::sn40l_node(), 4, ExpertLibrary::new(400), 512).expect("fits");
         let batch = PromptGenerator::new(23, 512).batch(16);
         let t1 = one.serve_batch(&batch, 10).latency;
         let t4 = four.serve_batch(&batch, 10).latency;
@@ -230,10 +559,163 @@ mod tests {
     }
 
     #[test]
+    fn try_serve_without_faults_matches_serve_batch_exactly() {
+        let mut plain =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512).unwrap();
+        let mut aware =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512).unwrap();
+        let batch = PromptGenerator::new(31, 512).batch(12);
+        let want = plain.serve_batch(&batch, 10);
+        let got = aware.try_serve_batch(&batch, 10).unwrap();
+        assert_eq!(want, got, "no faults: bit-identical reports");
+        assert_eq!(got.availability(), 1.0);
+    }
+
+    #[test]
+    fn zero_rate_plan_keeps_cluster_reports_bit_identical() {
+        use sn_faults::FaultPlan;
+        use std::sync::Arc;
+        let mut plain =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512).unwrap();
+        let mut aware = CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512)
+            .unwrap()
+            .with_faults(Arc::new(FaultPlan::new(77)), RetryPolicy::standard());
+        let batch = PromptGenerator::new(31, 512).batch(12);
+        let want = plain.serve_batch(&batch, 10);
+        let got = aware.try_serve_batch(&batch, 10).unwrap();
+        assert_eq!(want, got, "zero-rate plan: bit-identical reports");
+    }
+
+    #[test]
+    fn failed_node_fails_over_and_every_prompt_completes() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512).unwrap();
+        let batch = PromptGenerator::new(31, 512).batch(24);
+        let healthy = cluster.try_serve_batch(&batch, 10).unwrap();
+        assert_eq!(healthy.prompts_per_node.iter().sum::<usize>(), 24);
+
+        cluster.fail_node(1);
+        let degraded = cluster.try_serve_batch(&batch, 10).unwrap();
+        assert_eq!(degraded.failed_nodes, vec![1]);
+        assert_eq!(degraded.prompts_per_node[1], 0, "dead node serves nothing");
+        assert_eq!(
+            degraded.prompts_per_node.iter().sum::<usize>(),
+            24,
+            "all prompts complete on survivors"
+        );
+        assert_eq!(degraded.dropped_prompts, 0);
+        assert!(degraded.rehomed_experts > 0, "node 1's experts re-home");
+        assert!(
+            degraded.failover_penalty.as_secs() > 0.0,
+            "re-homing costs transfer time"
+        );
+        assert!(
+            degraded.latency > healthy.latency,
+            "failover costs latency: {} vs {}",
+            degraded.latency,
+            healthy.latency
+        );
+
+        // The next batch reuses the adopted experts: no second re-homing
+        // of the same experts, and availability stays perfect.
+        let settled = cluster.try_serve_batch(&batch, 10).unwrap();
+        assert_eq!(settled.rehomed_experts, 0, "already re-homed");
+        assert_eq!(settled.dropped_prompts, 0);
+        assert!(settled.latency < degraded.latency);
+    }
+
+    #[test]
+    fn all_nodes_down_is_an_error() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(100), 512).unwrap();
+        cluster.fail_node(0);
+        cluster.fail_node(1);
+        let batch = PromptGenerator::new(31, 512).batch(4);
+        assert!(matches!(
+            cluster.try_serve_batch(&batch, 10),
+            Err(CoeError::NoHealthyNodes)
+        ));
+        cluster.restore_node(0);
+        assert!(cluster.try_serve_batch(&batch, 10).is_ok());
+    }
+
+    #[test]
+    fn plan_drawn_node_failures_crash_nodes() {
+        use sn_faults::{FaultPlan, FaultSite, FaultSpec};
+        use std::sync::Arc;
+        let plan =
+            Arc::new(FaultPlan::new(3).with_site(FaultSite::NodeFailure, FaultSpec::failing(0.5)));
+        let mut cluster = CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512)
+            .unwrap()
+            .with_faults(plan, RetryPolicy::standard());
+        let batch = PromptGenerator::new(31, 512).batch(12);
+        // At 50% per node per batch, a few batches kill at least one node
+        // deterministically under this seed.
+        let mut saw_failure = false;
+        for _ in 0..4 {
+            match cluster.try_serve_batch(&batch, 10) {
+                Ok(report) => {
+                    if !report.failed_nodes.is_empty() {
+                        saw_failure = true;
+                        assert_eq!(
+                            report.prompts_per_node.iter().sum::<usize>() + report.dropped_prompts,
+                            12
+                        );
+                    }
+                }
+                Err(CoeError::NoHealthyNodes) => {
+                    saw_failure = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(
+            saw_failure,
+            "seed 3 at 50% should down a node within 4 batches"
+        );
+    }
+
+    #[test]
+    fn imbalance_ignores_idle_and_failed_nodes() {
+        let report = ClusterReport {
+            latency: TimeSecs::from_millis(30.0),
+            per_node: vec![
+                TimeSecs::from_millis(30.0),
+                TimeSecs::from_millis(20.0),
+                TimeSecs::ZERO, // idle: no prompts routed
+                TimeSecs::ZERO, // failed
+            ],
+            prompts_per_node: vec![3, 2, 0, 0],
+            expert_misses: 0,
+            failed_nodes: vec![3],
+            rehomed_experts: 0,
+            failover_penalty: TimeSecs::ZERO,
+            recovery: TimeSecs::ZERO,
+            dropped_prompts: 0,
+        };
+        // Mean over the two working nodes only: 25 ms -> 30/25 = 1.2.
+        assert!((report.imbalance() - 1.2).abs() < 1e-12);
+        // Nothing served at all: defined as balanced.
+        let empty = ClusterReport {
+            latency: TimeSecs::ZERO,
+            per_node: vec![TimeSecs::ZERO; 2],
+            prompts_per_node: vec![0, 0],
+            expert_misses: 0,
+            failed_nodes: vec![0, 1],
+            rehomed_experts: 0,
+            failover_penalty: TimeSecs::ZERO,
+            recovery: TimeSecs::ZERO,
+            dropped_prompts: 4,
+        };
+        assert_eq!(empty.imbalance(), 1.0);
+        assert_eq!(empty.availability(), 0.0);
+    }
+
+    #[test]
     fn experts_are_owned_round_robin() {
         let cluster =
-            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(30), 512)
-                .expect("fits");
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(30), 512).expect("fits");
         assert_eq!(cluster.owner(0), 0);
         assert_eq!(cluster.owner(1), 1);
         assert_eq!(cluster.owner(5), 2);

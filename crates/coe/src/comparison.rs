@@ -84,10 +84,17 @@ impl ComparisonModel {
         let cfg = TransformerConfig::llama2_7b();
         let calib = Calibration::baseline();
         let expert_bytes = cfg.param_bytes();
-        let prefill_graph = build(&cfg, Phase::Prefill { prompt_tokens }, 1, 8)
-            .expect("prefill builds");
-        let decode_graph = build(&cfg, Phase::Decode { past_tokens: prompt_tokens }, 1, 8)
-            .expect("decode builds");
+        let prefill_graph =
+            build(&cfg, Phase::Prefill { prompt_tokens }, 1, 8).expect("prefill builds");
+        let decode_graph = build(
+            &cfg,
+            Phase::Decode {
+                past_tokens: prompt_tokens,
+            },
+            1,
+            8,
+        )
+        .expect("decode builds");
 
         let mut platforms = Vec::new();
         // SN40L.
@@ -110,15 +117,15 @@ impl ComparisonModel {
                     decode_step: exec.run(&decode_exe, Orchestration::Hardware).total,
                     switch_bw: node.model_switch_bandwidth(),
                     resident_experts: (budget.as_f64() / expert_bytes.as_f64()) as usize,
-                    max_experts: (node.ddr_capacity().as_f64() / expert_bytes.as_f64())
-                        as usize,
+                    max_experts: (node.ddr_capacity().as_f64() / expert_bytes.as_f64()) as usize,
                 },
             ));
         }
         // DGXs.
-        for (platform, dgx) in
-            [(Platform::DgxA100, DgxSpec::dgx_a100()), (Platform::DgxH100, DgxSpec::dgx_h100())]
-        {
+        for (platform, dgx) in [
+            (Platform::DgxA100, DgxSpec::dgx_a100()),
+            (Platform::DgxH100, DgxSpec::dgx_h100()),
+        ] {
             let exec = GpuExecutor::new(dgx.clone(), calib.clone());
             platforms.push((
                 platform,
@@ -128,8 +135,8 @@ impl ComparisonModel {
                     switch_bw: dgx.model_switch_bandwidth(),
                     resident_experts: (dgx.hbm_for_experts().as_f64() / expert_bytes.as_f64())
                         as usize,
-                    max_experts: (dgx.total_expert_capacity().as_f64()
-                        / expert_bytes.as_f64()) as usize,
+                    max_experts: (dgx.total_expert_capacity().as_f64() / expert_bytes.as_f64())
+                        as usize,
                 },
             ));
         }
@@ -206,7 +213,12 @@ impl ComparisonModel {
         // Execution: each (prompt, expert) pair runs sequentially (§VI-B).
         let prefill = c.prefill * batch as f64;
         let decode = c.decode_step * (batch * output_tokens) as f64;
-        Some(LatencyBreakdown { router, switching, prefill, decode })
+        Some(LatencyBreakdown {
+            router,
+            switching,
+            prefill,
+            decode,
+        })
     }
 }
 
@@ -235,7 +247,11 @@ mod tests {
         let m = model();
         for p in [Platform::DgxA100, Platform::DgxH100] {
             assert!(m.request_latency(p, 150, 1, 20).is_some());
-            assert!(m.request_latency(p, 160, 1, 20).is_none(), "{:?} should OOM", p);
+            assert!(
+                m.request_latency(p, 160, 1, 20).is_none(),
+                "{:?} should OOM",
+                p
+            );
         }
         assert!(m.request_latency(Platform::Sn40l, 850, 1, 20).is_some());
     }
@@ -246,8 +262,12 @@ mod tests {
         let m = model();
         let resident = m.resident_experts(Platform::DgxA100);
         assert!((40..=50).contains(&resident), "resident {resident}");
-        let below = m.request_latency(Platform::DgxA100, resident, 1, 20).unwrap();
-        let above = m.request_latency(Platform::DgxA100, resident + 60, 1, 20).unwrap();
+        let below = m
+            .request_latency(Platform::DgxA100, resident, 1, 20)
+            .unwrap();
+        let above = m
+            .request_latency(Platform::DgxA100, resident + 60, 1, 20)
+            .unwrap();
         assert!(
             above.total().as_secs() > 2.0 * below.total().as_secs(),
             "spike: {} -> {}",
@@ -273,9 +293,18 @@ mod tests {
     fn switching_speedup_matches_31x_and_15x() {
         // Table III: model switching 31x vs DGX A100, 15x vs DGX H100.
         let m = model();
-        let sn = m.request_latency(Platform::Sn40l, 150, 8, 20).unwrap().switching;
-        let a = m.request_latency(Platform::DgxA100, 150, 8, 20).unwrap().switching;
-        let h = m.request_latency(Platform::DgxH100, 150, 8, 20).unwrap().switching;
+        let sn = m
+            .request_latency(Platform::Sn40l, 150, 8, 20)
+            .unwrap()
+            .switching;
+        let a = m
+            .request_latency(Platform::DgxA100, 150, 8, 20)
+            .unwrap()
+            .switching;
+        let h = m
+            .request_latency(Platform::DgxH100, 150, 8, 20)
+            .unwrap()
+            .switching;
         let va = a / sn;
         let vh = h / sn;
         assert!(va > 26.0 && va < 38.0, "vs A100 {va:.1}x (paper 31x)");
@@ -289,7 +318,10 @@ mod tests {
         // digits, and BS=8 wins by more than BS=1.
         let m = model();
         let speedup = |p, bs| {
-            let sn = m.request_latency(Platform::Sn40l, 150, bs, 20).unwrap().total();
+            let sn = m
+                .request_latency(Platform::Sn40l, 150, bs, 20)
+                .unwrap()
+                .total();
             m.request_latency(p, 150, bs, 20).unwrap().total() / sn
         };
         let a8 = speedup(Platform::DgxA100, 8);
@@ -297,7 +329,10 @@ mod tests {
         let h8 = speedup(Platform::DgxH100, 8);
         assert!(a8 > 4.0 && a8 < 12.0, "BS8 vs A100 {a8:.1}x (paper 6.6x)");
         assert!(h8 > 2.5 && h8 < 8.0, "BS8 vs H100 {h8:.1}x (paper 3.7x)");
-        assert!(a8 > a1, "switching share grows with batch: {a8:.1} vs {a1:.1}");
+        assert!(
+            a8 > a1,
+            "switching share grows with batch: {a8:.1} vs {a1:.1}"
+        );
     }
 
     #[test]
@@ -306,14 +341,26 @@ mod tests {
         // against A100 — decode amplifies the dataflow win.
         let m = model();
         let ratio = |tokens| {
-            let sn = m.request_latency(Platform::Sn40l, 10, 1, tokens).unwrap().execution();
-            let a = m.request_latency(Platform::DgxA100, 10, 1, tokens).unwrap().execution();
+            let sn = m
+                .request_latency(Platform::Sn40l, 10, 1, tokens)
+                .unwrap()
+                .execution();
+            let a = m
+                .request_latency(Platform::DgxA100, 10, 1, tokens)
+                .unwrap()
+                .execution();
             a / sn
         };
         let short = ratio(20);
         let long = ratio(200);
-        assert!(long > short, "decode-heavy requests widen the gap: {short:.2} vs {long:.2}");
-        assert!(long > 2.2 && long < 4.5, "200-token expert speedup {long:.2} (paper 3.2x)");
+        assert!(
+            long > short,
+            "decode-heavy requests widen the gap: {short:.2} vs {long:.2}"
+        );
+        assert!(
+            long > 2.2 && long < 4.5,
+            "200-token expert speedup {long:.2} (paper 3.2x)"
+        );
     }
 
     #[test]
@@ -323,7 +370,15 @@ mod tests {
         let m = model();
         let dgx = m.request_latency(Platform::DgxA100, 150, 1, 20).unwrap();
         let sn = m.request_latency(Platform::Sn40l, 150, 1, 20).unwrap();
-        assert!(dgx.switching_fraction() > 0.5, "DGX fraction {:.2}", dgx.switching_fraction());
-        assert!(sn.switching_fraction() < 0.5, "SN40L fraction {:.2}", sn.switching_fraction());
+        assert!(
+            dgx.switching_fraction() > 0.5,
+            "DGX fraction {:.2}",
+            dgx.switching_fraction()
+        );
+        assert!(
+            sn.switching_fraction() < 0.5,
+            "SN40L fraction {:.2}",
+            sn.switching_fraction()
+        );
     }
 }

@@ -37,7 +37,10 @@ impl ExpertLibrary {
         let experts = (0..n)
             .map(|i| {
                 let domain = domains[i % domains.len()];
-                ExpertInfo { name: format!("{}-expert-{i}", domain.tag()), domain }
+                ExpertInfo {
+                    name: format!("{}-expert-{i}", domain.tag()),
+                    domain,
+                }
             })
             .collect();
         ExpertLibrary { experts, config }
@@ -92,7 +95,11 @@ mod tests {
     #[test]
     fn samba_coe_exceeds_a_trillion_parameters() {
         let lib = ExpertLibrary::samba_coe_150();
-        assert!(lib.total_params() > 1_000_000_000_000, "got {}", lib.total_params());
+        assert!(
+            lib.total_params() > 1_000_000_000_000,
+            "got {}",
+            lib.total_params()
+        );
     }
 
     #[test]

@@ -57,13 +57,17 @@ impl GenerationModel {
         let exec = NodeExecutor::new(node, calib);
         let cost = |phase| {
             let g = build(cfg, phase, 1, tp).expect("graph builds");
-            let exe = compiler.compile(&g, FusionPolicy::Spatial).expect("compiles");
+            let exe = compiler
+                .compile(&g, FusionPolicy::Spatial)
+                .expect("compiles");
             exec.run(&exe, Orchestration::Hardware).total
         };
         let prefill_tokens = 1024;
         GenerationModel::fit(
             prefill_tokens,
-            cost(Phase::Prefill { prompt_tokens: prefill_tokens }),
+            cost(Phase::Prefill {
+                prompt_tokens: prefill_tokens,
+            }),
             [
                 (1024, cost(Phase::Decode { past_tokens: 1024 })),
                 (8192, cost(Phase::Decode { past_tokens: 8192 })),
@@ -81,7 +85,9 @@ impl GenerationModel {
         let prefill_tokens = 1024;
         GenerationModel::fit(
             prefill_tokens,
-            cost(Phase::Prefill { prompt_tokens: prefill_tokens }),
+            cost(Phase::Prefill {
+                prompt_tokens: prefill_tokens,
+            }),
             [
                 (1024, cost(Phase::Decode { past_tokens: 1024 })),
                 (8192, cost(Phase::Decode { past_tokens: 8192 })),
@@ -118,7 +124,10 @@ mod tests {
     fn steps_grow_with_kv() {
         let m = model();
         assert!(m.step(8192) > m.step(1024));
-        assert!(m.slope_per_kv_token.as_secs() > 0.0, "KV reads must cost something");
+        assert!(
+            m.slope_per_kv_token.as_secs() > 0.0,
+            "KV reads must cost something"
+        );
     }
 
     #[test]
@@ -164,7 +173,10 @@ mod tests {
         let _ = GenerationModel::fit(
             10,
             TimeSecs::from_millis(1.0),
-            [(100, TimeSecs::from_millis(1.0)), (100, TimeSecs::from_millis(2.0))],
+            [
+                (100, TimeSecs::from_millis(1.0)),
+                (100, TimeSecs::from_millis(2.0)),
+            ],
         );
     }
 }

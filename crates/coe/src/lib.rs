@@ -29,7 +29,7 @@ pub mod router;
 pub mod serving;
 pub mod workload;
 
-pub use cluster::{CoeCluster, ClusterReport};
+pub use cluster::{ClusterReport, CoeCluster};
 pub use comparison::{request_latency, LatencyBreakdown, Platform};
 pub use expert::{ExpertInfo, ExpertLibrary};
 pub use generation::GenerationModel;

@@ -77,7 +77,11 @@ pub struct PromptGenerator {
 
 impl PromptGenerator {
     pub fn new(seed: u64, prompt_tokens: usize) -> Self {
-        PromptGenerator { seed, next_id: 0, prompt_tokens }
+        PromptGenerator {
+            seed,
+            next_id: 0,
+            prompt_tokens,
+        }
     }
 
     /// Draws the next prompt.
@@ -87,7 +91,11 @@ impl PromptGenerator {
         let mut h = DefaultHasher::new();
         (self.seed, id).hash(&mut h);
         let domain = Domain::ALL[(h.finish() % Domain::ALL.len() as u64) as usize];
-        Prompt { id, domain, tokens: self.prompt_tokens }
+        Prompt {
+            id,
+            domain,
+            tokens: self.prompt_tokens,
+        }
     }
 
     /// Draws a batch of prompts.
@@ -139,11 +147,20 @@ mod tests {
         // Temporal locality (§III-B): repeated domain traffic lands on a
         // bounded expert subset, which is what HBM caching exploits.
         let r = Router::new(7);
-        let prompts: Vec<Prompt> =
-            (0..64).map(|id| Prompt { id, domain: Domain::Math, tokens: 512 }).collect();
+        let prompts: Vec<Prompt> = (0..64)
+            .map(|id| Prompt {
+                id,
+                domain: Domain::Math,
+                tokens: 512,
+            })
+            .collect();
         let experts: std::collections::HashSet<usize> =
             prompts.iter().map(|p| r.route(p, 150)).collect();
-        assert!(experts.len() <= 16, "math prompts hit {} experts", experts.len());
+        assert!(
+            experts.len() <= 16,
+            "math prompts hit {} experts",
+            experts.len()
+        );
     }
 
     #[test]
@@ -168,7 +185,11 @@ mod tests {
     #[should_panic(expected = "at least one expert")]
     fn routing_to_zero_experts_panics() {
         let r = Router::new(0);
-        let p = Prompt { id: 0, domain: Domain::Chat, tokens: 8 };
+        let p = Prompt {
+            id: 0,
+            domain: Domain::Chat,
+            tokens: 8,
+        };
         let _ = r.route(&p, 0);
     }
 }

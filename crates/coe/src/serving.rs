@@ -12,9 +12,11 @@ use crate::router::{Prompt, Router};
 use serde::{Deserialize, Serialize};
 use sn_arch::{Calibration, NodeSpec, Orchestration, TimeSecs};
 use sn_compiler::{Compiler, Executable, FusionPolicy};
+use sn_faults::{FaultDecision, FaultPlan, FaultSite, Recovery, RetryPolicy};
 use sn_models::{build, Phase};
-use sn_runtime::coe::{CoeRuntime, CoeRuntimeConfig, ModelBinary};
+use sn_runtime::coe::{CoeError, CoeRuntime, CoeRuntimeConfig, ModelBinary};
 use sn_runtime::executor::NodeExecutor;
+use std::sync::Arc;
 
 /// Latency breakdown of one served batch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,6 +27,11 @@ pub struct ServeReport {
     pub switching: TimeSecs,
     /// Expert prefill plus decode for every prompt, run sequentially.
     pub execution: TimeSecs,
+    /// Time lost to injected faults: wasted attempts plus retry backoff
+    /// across routing, switching, and execution. Zero on fault-free runs.
+    pub recovery: TimeSecs,
+    /// Failed attempts absorbed by retries across the batch.
+    pub retries: u32,
     /// Experts that were already HBM-resident.
     pub expert_hits: usize,
     /// Experts that had to be copied in.
@@ -34,14 +41,19 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
-    /// Total batch latency.
+    /// Total batch latency, recovery time included.
     pub fn total(&self) -> TimeSecs {
-        self.router + self.switching + self.execution
+        self.router + self.switching + self.execution + self.recovery
     }
 
     /// Fraction of time spent switching models — the Figure 1 quantity.
     pub fn switching_fraction(&self) -> f64 {
         self.switching.as_secs() / self.total().as_secs()
+    }
+
+    /// Fraction of time lost to fault recovery (0.0 on clean runs).
+    pub fn recovery_fraction(&self) -> f64 {
+        self.recovery.as_secs() / self.total().as_secs()
     }
 }
 
@@ -56,37 +68,59 @@ pub struct SambaCoeNode {
     decode_exe: Executable,
     orch: Orchestration,
     calib: Calibration,
+    faults: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
 }
 
 impl SambaCoeNode {
     /// Compiles the (shared) expert architecture and registers the whole
     /// library into node DDR.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the library does not fit node DDR — deployments are
-    /// expected to be sized with [`crate::comparison`] first.
-    pub fn new(node: NodeSpec, library: ExpertLibrary, prompt_tokens: usize) -> Self {
+    /// [`CoeError::Compile`] when building or compiling the expert graphs
+    /// fails; [`CoeError::DdrFull`] (or any other registration error) when
+    /// the library does not fit node DDR — deployments are expected to be
+    /// sized with [`crate::comparison`] first.
+    pub fn try_new(
+        node: NodeSpec,
+        library: ExpertLibrary,
+        prompt_tokens: usize,
+    ) -> Result<Self, CoeError> {
         let calib = Calibration::baseline();
         let compiler = Compiler::new(node.socket.clone(), calib.clone());
         let tp = node.sockets;
         let cfg = library.config().clone();
+        let compile_err = |stage: &str, reason: String| CoeError::Compile {
+            model: stage.to_string(),
+            reason,
+        };
         let prefill_graph = build(&cfg, Phase::Prefill { prompt_tokens }, 1, tp)
-            .expect("llama prefill builds");
-        let decode_graph = build(&cfg, Phase::Decode { past_tokens: prompt_tokens }, 1, tp)
-            .expect("llama decode builds");
-        let prefill_exe =
-            compiler.compile(&prefill_graph, FusionPolicy::Spatial).expect("prefill compiles");
-        let decode_exe =
-            compiler.compile(&decode_graph, FusionPolicy::Spatial).expect("decode compiles");
+            .map_err(|e| compile_err("expert prefill graph", e.to_string()))?;
+        let decode_graph = build(
+            &cfg,
+            Phase::Decode {
+                past_tokens: prompt_tokens,
+            },
+            1,
+            tp,
+        )
+        .map_err(|e| compile_err("expert decode graph", e.to_string()))?;
+        let prefill_exe = compiler
+            .compile(&prefill_graph, FusionPolicy::Spatial)
+            .map_err(|e| compile_err("expert prefill executable", e.to_string()))?;
+        let decode_exe = compiler
+            .compile(&decode_graph, FusionPolicy::Spatial)
+            .map_err(|e| compile_err("expert decode executable", e.to_string()))?;
         let mut runtime = CoeRuntime::new(&node, CoeRuntimeConfig::default());
         for e in library.experts() {
-            runtime
-                .register(ModelBinary::weights_only(e.name.clone(), library.expert_bytes()))
-                .expect("library fits node DDR");
+            runtime.register(ModelBinary::weights_only(
+                e.name.clone(),
+                library.expert_bytes(),
+            ))?;
         }
         let executor = NodeExecutor::new(node, calib.clone());
-        SambaCoeNode {
+        Ok(SambaCoeNode {
             library,
             router: Router::new(0x5a17ba),
             runtime,
@@ -95,7 +129,31 @@ impl SambaCoeNode {
             decode_exe,
             orch: Orchestration::Hardware,
             calib,
-        }
+            faults: None,
+            retry: RetryPolicy::standard(),
+        })
+    }
+
+    /// Panicking convenience wrapper around [`SambaCoeNode::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`CoeError`] from `try_new` (undersized DDR, graph
+    /// build or compile failure).
+    pub fn new(node: NodeSpec, library: ExpertLibrary, prompt_tokens: usize) -> Self {
+        Self::try_new(node, library, prompt_tokens)
+            .unwrap_or_else(|e| panic!("building Samba-CoE node failed: {e}"))
+    }
+
+    /// Attaches a fault plan and retry budget. The plan is consulted by
+    /// [`SambaCoeNode::try_serve_batch`] at the router, expert-load, and
+    /// socket-link sites; the plain serve paths stay fault-oblivious.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>, retry: RetryPolicy) -> Self {
+        self.runtime = self.runtime.with_faults(Arc::clone(&plan), retry);
+        self.executor = self.executor.with_faults(Arc::clone(&plan));
+        self.faults = Some(plan);
+        self.retry = retry;
+        self
     }
 
     pub fn library(&self) -> &ExpertLibrary {
@@ -139,8 +197,7 @@ impl SambaCoeNode {
     ) -> ServeReport {
         assert!(!prompts.is_empty(), "empty batch");
         let n = self.library.len();
-        let assignments: Vec<usize> =
-            prompts.iter().map(|p| self.router.route(p, n)).collect();
+        let assignments: Vec<usize> = prompts.iter().map(|p| self.router.route(p, n)).collect();
         let router = self.router_time();
         let run = self.model_run_time(output_tokens);
         let mut hits = 0;
@@ -174,6 +231,8 @@ impl SambaCoeNode {
             router,
             switching: exposed_switching,
             execution,
+            recovery: TimeSecs::ZERO,
+            retries: 0,
             expert_hits: hits,
             expert_misses: misses,
             assignments,
@@ -184,8 +243,7 @@ impl SambaCoeNode {
     pub fn serve_batch(&mut self, prompts: &[Prompt], output_tokens: usize) -> ServeReport {
         assert!(!prompts.is_empty(), "empty batch");
         let n = self.library.len();
-        let assignments: Vec<usize> =
-            prompts.iter().map(|p| self.router.route(p, n)).collect();
+        let assignments: Vec<usize> = prompts.iter().map(|p| self.router.route(p, n)).collect();
         let router = self.router_time();
         // Activate deduplicated experts in routing order.
         let mut switching = TimeSecs::ZERO;
@@ -207,7 +265,117 @@ impl SambaCoeNode {
         }
         // Each (prompt, expert) pair runs sequentially.
         let execution = self.model_run_time(output_tokens) * prompts.len() as f64;
-        ServeReport { router, switching, execution, expert_hits: hits, expert_misses: misses, assignments }
+        ServeReport {
+            router,
+            switching,
+            execution,
+            recovery: TimeSecs::ZERO,
+            retries: 0,
+            expert_hits: hits,
+            expert_misses: misses,
+            assignments,
+        }
+    }
+
+    /// Fault-aware [`SambaCoeNode::serve_batch`]: consults the attached
+    /// [`FaultPlan`] and drives every faultable phase through the node's
+    /// [`RetryPolicy`], charging wasted attempts and backoff into the
+    /// report's `recovery` component.
+    ///
+    /// Per batch: one router consultation ([`FaultSite::RouterDecision`] —
+    /// a `Fail` is a classification timeout, retried by re-running the
+    /// decode steps), one expert-load consultation per distinct cold
+    /// expert (inside [`CoeRuntime::activate_with_recovery`]), and one
+    /// socket consultation per prompt execution. With no plan attached
+    /// (or an all-zero plan) the report is bit-identical to
+    /// [`SambaCoeNode::serve_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::RouterTimeout`] when router retries are exhausted;
+    /// [`CoeError::LoadFault`] when an expert never loads intact;
+    /// [`CoeError::SocketDown`] when a prompt's execution keeps dropping
+    /// the socket fabric past the retry budget.
+    pub fn try_serve_batch(
+        &mut self,
+        prompts: &[Prompt],
+        output_tokens: usize,
+    ) -> Result<ServeReport, CoeError> {
+        assert!(!prompts.is_empty(), "empty batch");
+        let Some(plan) = self.faults.clone() else {
+            return Ok(self.serve_batch(prompts, output_tokens));
+        };
+        let n = self.library.len();
+        let assignments: Vec<usize> = prompts.iter().map(|p| self.router.route(p, n)).collect();
+        let mut recovery = Recovery::default();
+
+        // Router: one classification pass over the batch; a Fail draw is a
+        // timeout and the pass reruns after backoff.
+        let router_once = self.router_time();
+        let (router_factor, router_rec) = self
+            .retry
+            .run(|_| match plan.decide(FaultSite::RouterDecision) {
+                FaultDecision::Ok => Ok(1.0),
+                FaultDecision::Slow(factor) => Ok(factor),
+                FaultDecision::Fail => Err(router_once),
+            })
+            .map_err(|e| CoeError::RouterTimeout {
+                attempts: e.attempts,
+            })?;
+        recovery.merge(router_rec);
+        let router = router_once * router_factor;
+
+        // Switching: deduplicated activation through the runtime's
+        // fault-aware load path.
+        let mut switching = TimeSecs::ZERO;
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut seen = std::collections::HashSet::new();
+        for &e in &assignments {
+            if !seen.insert(e) {
+                continue;
+            }
+            let name = self.library.expert(e).name.clone();
+            let (outcome, load_rec) = self.runtime.activate_with_recovery(&name)?;
+            if outcome.hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            switching += outcome.switch_time;
+            recovery.merge(load_rec);
+        }
+
+        // Execution: one socket-fabric consultation per prompt. The factor
+        // sum keeps the fault-free arithmetic identical to `serve_batch`
+        // (`run * n`, not a float summation loop).
+        let run = self.model_run_time(output_tokens);
+        let mut factor_sum = 0.0;
+        for _ in prompts {
+            let (factor, exec_rec) = self
+                .retry
+                .run(|_| match plan.decide(FaultSite::SocketLink) {
+                    FaultDecision::Ok => Ok(1.0),
+                    FaultDecision::Slow(factor) => Ok(factor),
+                    FaultDecision::Fail => Err(run),
+                })
+                .map_err(|e| CoeError::SocketDown {
+                    attempts: e.attempts,
+                })?;
+            factor_sum += factor;
+            recovery.merge(exec_rec);
+        }
+        let execution = run * factor_sum;
+        Ok(ServeReport {
+            router,
+            switching,
+            execution,
+            recovery: recovery.time,
+            retries: recovery.retries,
+            expert_hits: hits,
+            expert_misses: misses,
+            assignments,
+        })
     }
 }
 
@@ -233,7 +401,11 @@ mod tests {
         let frac = report.switching_fraction();
         assert!(frac > 0.05 && frac < 0.6, "switching fraction {frac:.2}");
         // Total stays well under 100 ms (Figure 1's SN40L bar).
-        assert!(report.total().as_millis() < 150.0, "total {}", report.total());
+        assert!(
+            report.total().as_millis() < 150.0,
+            "total {}",
+            report.total()
+        );
     }
 
     #[test]
@@ -254,7 +426,11 @@ mod tests {
         // All prompts in one domain with the same sub-task land on one
         // expert: one switch for the whole batch.
         let batch: Vec<Prompt> = (0..8)
-            .map(|i| Prompt { id: i * 16, domain: crate::router::Domain::Math, tokens: 1024 })
+            .map(|i| Prompt {
+                id: i * 16,
+                domain: crate::router::Domain::Math,
+                tokens: 1024,
+            })
             .collect();
         let report = node.serve_batch(&batch, 20);
         assert_eq!(report.expert_hits + report.expert_misses, 1);
@@ -293,6 +469,69 @@ mod tests {
         // runs (~25 ms) each later 13 ms copy hides completely.
         let one_switch = seq.switching.as_secs() / seq.expert_misses as f64;
         assert!(pre.switching.as_secs() <= one_switch * 1.5);
+    }
+
+    #[test]
+    fn try_new_reports_ddr_exhaustion_instead_of_panicking() {
+        let err = SambaCoeNode::try_new(NodeSpec::sn40l_node(), ExpertLibrary::new(2000), 1024);
+        assert!(
+            matches!(err, Err(CoeError::DdrFull(_))),
+            "2000 experts exceed node DDR"
+        );
+    }
+
+    #[test]
+    fn try_serve_without_plan_matches_serve_batch_exactly() {
+        let mut plain = coe(150);
+        let mut aware = coe(150);
+        let batch = PromptGenerator::new(7, 1024).batch(6);
+        let want = plain.serve_batch(&batch, 20);
+        let got = aware.try_serve_batch(&batch, 20).unwrap();
+        assert_eq!(want, got, "no plan: bit-identical reports");
+    }
+
+    #[test]
+    fn zero_rate_plan_is_bit_identical_to_no_plan() {
+        let mut plain = coe(150);
+        let mut aware = coe(150).with_faults(Arc::new(FaultPlan::new(99)), RetryPolicy::standard());
+        let batch = PromptGenerator::new(7, 1024).batch(6);
+        let want = plain.serve_batch(&batch, 20);
+        let got = aware.try_serve_batch(&batch, 20).unwrap();
+        assert_eq!(want, got, "zero-rate plan: bit-identical reports");
+        assert!(got.recovery.is_zero());
+        assert_eq!(got.retries, 0);
+    }
+
+    #[test]
+    fn injected_faults_charge_recovery_into_the_report() {
+        use sn_faults::FaultSpec;
+        let plan = Arc::new(
+            FaultPlan::new(13)
+                .with_site(FaultSite::ExpertLoad, FaultSpec::failing(0.2))
+                .with_site(
+                    FaultSite::SocketLink,
+                    FaultSpec {
+                        fail_rate: 0.2,
+                        slow_rate: 0.2,
+                        slow_factor: 1.5,
+                    },
+                )
+                .with_site(FaultSite::RouterDecision, FaultSpec::failing(0.2)),
+        );
+        let mut clean = coe(150);
+        let mut faulty = coe(150).with_faults(plan, RetryPolicy::standard());
+        let batch = PromptGenerator::new(7, 1024).batch(8);
+        let baseline = clean.serve_batch(&batch, 20);
+        let report = faulty
+            .try_serve_batch(&batch, 20)
+            .expect("retries absorb these rates");
+        assert!(report.retries > 0, "these rates should trigger retries");
+        assert!(report.recovery.as_secs() > 0.0);
+        assert!(report.total() > baseline.total(), "faults cost latency");
+        assert_eq!(
+            report.assignments, baseline.assignments,
+            "routing is unperturbed"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { skew: 0.9, drift_period: 256, prompt_tokens: 1024 }
+        TraceConfig {
+            skew: 0.9,
+            drift_period: 256,
+            prompt_tokens: 1024,
+        }
     }
 }
 
@@ -45,8 +49,9 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     pub fn new(seed: u64, config: TraceConfig) -> Self {
         let n = Domain::ALL.len();
-        let weights: Vec<f64> =
-            (1..=n).map(|rank| 1.0 / (rank as f64).powf(config.skew)).collect();
+        let weights: Vec<f64> = (1..=n)
+            .map(|rank| 1.0 / (rank as f64).powf(config.skew))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         let cdf = weights
@@ -77,10 +82,17 @@ impl TraceGenerator {
         }
         self.emitted += 1;
         let u: f64 = self.rng.gen();
-        let rank = self.cdf.partition_point(|&c| c < u).min(self.ranking.len() - 1);
+        let rank = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.ranking.len() - 1);
         let id = self.next_id;
         self.next_id += 1;
-        Prompt { id, domain: self.ranking[rank], tokens: self.config.prompt_tokens }
+        Prompt {
+            id,
+            domain: self.ranking[rank],
+            tokens: self.config.prompt_tokens,
+        }
     }
 
     /// Draws a batch.
@@ -114,18 +126,29 @@ mod tests {
 
     #[test]
     fn skew_concentrates_traffic() {
-        let cfg = TraceConfig { skew: 1.2, drift_period: 0, prompt_tokens: 64 };
+        let cfg = TraceConfig {
+            skew: 1.2,
+            drift_period: 0,
+            prompt_tokens: 64,
+        };
         let mut trace = TraceGenerator::new(3, cfg);
         let counts = domain_counts(&mut trace, 2000);
         let mut sorted: Vec<usize> = counts.values().copied().collect();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         let top2: usize = sorted.iter().take(2).sum();
-        assert!(top2 * 2 > 2000, "top-2 domains should carry >50%: {top2}/2000");
+        assert!(
+            top2 * 2 > 2000,
+            "top-2 domains should carry >50%: {top2}/2000"
+        );
     }
 
     #[test]
     fn zero_skew_is_roughly_uniform() {
-        let cfg = TraceConfig { skew: 0.0, drift_period: 0, prompt_tokens: 64 };
+        let cfg = TraceConfig {
+            skew: 0.0,
+            drift_period: 0,
+            prompt_tokens: 64,
+        };
         let mut trace = TraceGenerator::new(4, cfg);
         let counts = domain_counts(&mut trace, 5000);
         for (&d, &c) in &counts {
@@ -138,7 +161,11 @@ mod tests {
 
     #[test]
     fn drift_rotates_the_hot_domain() {
-        let cfg = TraceConfig { skew: 1.5, drift_period: 500, prompt_tokens: 64 };
+        let cfg = TraceConfig {
+            skew: 1.5,
+            drift_period: 500,
+            prompt_tokens: 64,
+        };
         let mut trace = TraceGenerator::new(5, cfg);
         let early = domain_counts(&mut trace, 400);
         // Skip across several drift periods.
@@ -146,9 +173,8 @@ mod tests {
             trace.next_prompt();
         }
         let late = domain_counts(&mut trace, 400);
-        let hot = |m: &HashMap<Domain, usize>| {
-            *m.iter().max_by_key(|(_, &c)| c).expect("non-empty").0
-        };
+        let hot =
+            |m: &HashMap<Domain, usize>| *m.iter().max_by_key(|(_, &c)| c).expect("non-empty").0;
         assert_ne!(hot(&early), hot(&late), "popularity should have drifted");
     }
 

@@ -105,9 +105,12 @@ mod tests {
         // Saturating 85% of 2 TB/s needs ~23 streams of 76.8 GB/s; the
         // AGCUs provide far more (§IV-D's concurrent stream pool).
         let s = socket();
-        let needed =
-            (s.hbm.effective_bandwidth() / per_stream_bandwidth(&s)).ceil() as usize;
-        assert!(needed <= stream_capacity(&s), "{needed} vs {}", stream_capacity(&s));
+        let needed = (s.hbm.effective_bandwidth() / per_stream_bandwidth(&s)).ceil() as usize;
+        assert!(
+            needed <= stream_capacity(&s),
+            "{needed} vs {}",
+            stream_capacity(&s)
+        );
     }
 
     #[test]
@@ -120,7 +123,10 @@ mod tests {
         let exe = compiler.compile(&g, FusionPolicy::Spatial).unwrap();
         let plans = plan_executable(&g, &exe, &socket());
         let max_streams = plans.iter().map(|p| p.hbm_streams).max().unwrap();
-        assert!(max_streams >= 10, "decode layers should fan out streams, got {max_streams}");
+        assert!(
+            max_streams >= 10,
+            "decode layers should fan out streams, got {max_streams}"
+        );
         assert!(plans.iter().all(|p| !p.infeasible));
     }
 
@@ -145,13 +151,21 @@ mod tests {
         let exe = compiler.compile(&g, FusionPolicy::Spatial).unwrap();
         let plans = plan_executable(&g, &exe, &socket());
         let with_p2p = plans.iter().filter(|p| p.p2p_streams > 0).count();
-        assert!(with_p2p >= cfg.layers, "each layer's collectives need streams");
+        assert!(
+            with_p2p >= cfg.layers,
+            "each layer's collectives need streams"
+        );
     }
 
     #[test]
     fn required_bandwidth_never_exceeds_the_roofline() {
         let cfg = TransformerConfig::llama2_7b();
-        for phase in [Phase::Prefill { prompt_tokens: 2048 }, Phase::Decode { past_tokens: 2048 }] {
+        for phase in [
+            Phase::Prefill {
+                prompt_tokens: 2048,
+            },
+            Phase::Decode { past_tokens: 2048 },
+        ] {
             let g = build(&cfg, phase, 1, 8).unwrap();
             let compiler = Compiler::new(socket(), Calibration::baseline());
             let exe = compiler.compile(&g, FusionPolicy::Spatial).unwrap();

@@ -78,7 +78,9 @@ pub fn estimate_kernel(
             node.inputs
                 .iter()
                 .map(|&t| tile_count(&graph.tensor(t).shape))
-                .chain(std::iter::once(tile_count(&graph.tensor(node.output).shape)))
+                .chain(std::iter::once(tile_count(
+                    &graph.tensor(node.output).shape,
+                )))
                 .collect::<Vec<_>>()
         })
         .max()
@@ -102,8 +104,7 @@ pub fn estimate_kernel(
     };
     let fill_factor = match policy {
         FusionPolicy::Spatial => {
-            (tiles as f64 + calib.pipeline_fill_tiles_per_stage * effective_stages)
-                / tiles as f64
+            (tiles as f64 + calib.pipeline_fill_tiles_per_stage * effective_stages) / tiles as f64
         }
         // Unfused kernels are one stage each; their fill is negligible
         // relative to the materialization traffic they already pay.
@@ -198,8 +199,15 @@ mod tests {
         // A weight-streaming decode-style GEMM: time ~ bytes / HBM bw.
         let mut b = GraphBuilder::new("decode-gemm");
         let x = b.tensor("x", Shape::mat(1, 4096), DType::Bf16, TensorKind::Input);
-        let w = b.tensor("w", Shape::mat(4096, 11008), DType::Bf16, TensorKind::Weight);
-        let y = b.node("g", OpKind::Gemm { transpose_b: false }, &[x, w]).unwrap();
+        let w = b.tensor(
+            "w",
+            Shape::mat(4096, 11008),
+            DType::Bf16,
+            TensorKind::Weight,
+        );
+        let y = b
+            .node("g", OpKind::Gemm { transpose_b: false }, &[x, w])
+            .unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let exe = compiler().compile(&g, FusionPolicy::Spatial).unwrap();
@@ -215,7 +223,9 @@ mod tests {
     fn standalone_allreduce_is_collective_bound() {
         let mut b = GraphBuilder::new("ar");
         let x = b.tensor("x", Shape::mat(1024, 1024), DType::Bf16, TensorKind::Input);
-        let y = b.node("ar", OpKind::AllReduce { participants: 8 }, &[x]).unwrap();
+        let y = b
+            .node("ar", OpKind::AllReduce { participants: 8 }, &[x])
+            .unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let exe = compiler().compile(&g, FusionPolicy::Unfused).unwrap();
@@ -229,12 +239,22 @@ mod tests {
             let mut b = GraphBuilder::new("ar");
             let x = b.tensor("x", Shape::mat(4096, 512), DType::Bf16, TensorKind::Input);
             let w = b.tensor("w", Shape::mat(512, 4096), DType::Bf16, TensorKind::Weight);
-            let h = b.node("g", OpKind::Gemm { transpose_b: false }, &[x, w]).unwrap();
-            let r = b.node("ar", OpKind::AllReduce { participants: 8 }, &[h]).unwrap();
-            let y = b.node("add", OpKind::Binary(BinaryKind::Add), &[r, r]).unwrap();
+            let h = b
+                .node("g", OpKind::Gemm { transpose_b: false }, &[x, w])
+                .unwrap();
+            let r = b
+                .node("ar", OpKind::AllReduce { participants: 8 }, &[h])
+                .unwrap();
+            let y = b
+                .node("add", OpKind::Binary(BinaryKind::Add), &[r, r])
+                .unwrap();
             b.mark_output(y);
             let g = b.build().unwrap();
-            let policy = if fuse { FusionPolicy::Spatial } else { FusionPolicy::Unfused };
+            let policy = if fuse {
+                FusionPolicy::Spatial
+            } else {
+                FusionPolicy::Unfused
+            };
             compiler().compile(&g, policy).unwrap()
         };
         let fused = mk(true);

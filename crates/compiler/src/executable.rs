@@ -63,7 +63,11 @@ pub fn build_kernels(
             let name = if nodes.len() == 1 {
                 first.name.clone()
             } else {
-                format!("fused[{}..{}]", first.name, graph.node(*nodes.last().expect("non-empty")).name)
+                format!(
+                    "fused[{}..{}]",
+                    first.name,
+                    graph.node(*nodes.last().expect("non-empty")).name
+                )
             };
             Kernel {
                 id: KernelId(i as u32),
@@ -95,7 +99,13 @@ impl Executable {
         memory: MemoryPlan,
     ) -> Self {
         assert_eq!(kernels.len(), estimates.len());
-        Executable { name, policy, kernels, estimates, memory }
+        Executable {
+            name,
+            policy,
+            kernels,
+            estimates,
+            memory,
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -205,8 +215,12 @@ mod tests {
         for l in 0..layers {
             b.set_region(l);
             let w = b.tensor("w", Shape::mat(256, 256), DType::Bf16, TensorKind::Weight);
-            cur = b.node("proj", OpKind::Gemm { transpose_b: false }, &[cur, w]).unwrap();
-            cur = b.node("act", OpKind::Unary(UnaryKind::Gelu), &[cur]).unwrap();
+            cur = b
+                .node("proj", OpKind::Gemm { transpose_b: false }, &[cur, w])
+                .unwrap();
+            cur = b
+                .node("act", OpKind::Unary(UnaryKind::Gelu), &[cur])
+                .unwrap();
         }
         b.mark_output(cur);
         b.build().unwrap()
@@ -218,7 +232,11 @@ mod tests {
         let c = Compiler::new(SocketSpec::sn40l(), Calibration::baseline());
         let exe = c.compile(&g, FusionPolicy::Spatial).unwrap();
         assert_eq!(exe.kernel_count(), 8, "one kernel per layer region");
-        assert_eq!(exe.distinct_programs(), 1, "identical layers share the bitstream");
+        assert_eq!(
+            exe.distinct_programs(),
+            1,
+            "identical layers share the bitstream"
+        );
     }
 
     #[test]

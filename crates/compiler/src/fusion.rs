@@ -124,7 +124,11 @@ mod tests {
         b.mark_output(cur);
         let g = b.build().unwrap();
         let p = partition(&g, FusionPolicy::Spatial, &model()).unwrap();
-        assert_eq!(p.len(), 4, "one kernel per region even though all would fit");
+        assert_eq!(
+            p.len(),
+            4,
+            "one kernel per region even though all would fit"
+        );
         assert!(is_valid_partition(&g, &p));
     }
 
@@ -140,7 +144,13 @@ mod tests {
                 DType::Bf16,
                 TensorKind::Weight,
             );
-            cur = b.node(format!("g{i}"), OpKind::Gemm { transpose_b: false }, &[cur, w]).unwrap();
+            cur = b
+                .node(
+                    format!("g{i}"),
+                    OpKind::Gemm { transpose_b: false },
+                    &[cur, w],
+                )
+                .unwrap();
         }
         b.mark_output(cur);
         let g = b.build().unwrap();
@@ -148,7 +158,10 @@ mod tests {
         let p = partition(&g, FusionPolicy::Spatial, &m).unwrap();
         assert!(p.len() > 1, "eight 256-PCU GEMMs cannot share one socket");
         for k in &p {
-            assert!(m.fits(m.kernel_resources(&g, k)), "every kernel respects the budget");
+            assert!(
+                m.fits(m.kernel_resources(&g, k)),
+                "every kernel respects the budget"
+            );
         }
     }
 

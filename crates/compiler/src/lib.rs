@@ -59,7 +59,11 @@ pub enum CompileError {
     /// The input graph was malformed.
     Graph(GraphError),
     /// A single operator exceeds the socket's resources even alone.
-    OperatorTooLarge { node: String, pcus: usize, pmus: usize },
+    OperatorTooLarge {
+        node: String,
+        pcus: usize,
+        pmus: usize,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -67,7 +71,10 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Graph(e) => write!(f, "graph error: {e}"),
             CompileError::OperatorTooLarge { node, pcus, pmus } => {
-                write!(f, "operator {node} needs {pcus} PCUs / {pmus} PMUs, exceeding the socket")
+                write!(
+                    f,
+                    "operator {node} needs {pcus} PCUs / {pmus} PMUs, exceeding the socket"
+                )
             }
         }
     }
@@ -116,6 +123,12 @@ impl Compiler {
             .iter()
             .map(|k| estimate::estimate_kernel(graph, k, &self.socket, &self.calib, policy))
             .collect();
-        Ok(Executable::new(graph.name().to_string(), policy, kernels, estimates, memory))
+        Ok(Executable::new(
+            graph.name().to_string(),
+            policy,
+            kernels,
+            estimates,
+            memory,
+        ))
     }
 }

@@ -94,7 +94,11 @@ impl MemoryPlan {
     /// Total bytes resident in a tier (sum of placements; note address
     /// reuse means peak usage can be lower).
     pub fn tier_bytes(&self, tier: MemoryTier) -> Bytes {
-        self.placements.iter().filter(|p| p.tier == tier).map(|p| p.bytes).sum()
+        self.placements
+            .iter()
+            .filter(|p| p.tier == tier)
+            .map(|p| p.bytes)
+            .sum()
     }
 }
 
@@ -120,8 +124,10 @@ pub fn plan_with_policy(
         for &nid in &k.nodes {
             let node = graph.node(nid);
             for &t in &node.inputs {
-                let produced_inside =
-                    graph.producer(t).map(|p| inside.contains(&p)).unwrap_or(false);
+                let produced_inside = graph
+                    .producer(t)
+                    .map(|p| inside.contains(&p))
+                    .unwrap_or(false);
                 if !produced_inside {
                     consumer_kernels.entry(t).or_default().push(ki);
                 }
@@ -150,8 +156,10 @@ pub fn plan_with_policy(
         }
         // Weights/inputs live from program start; outputs live to the end.
         let start = match (def.kind, produced) {
-            (TensorKind::Weight | TensorKind::Input | TensorKind::Metadata
-                | TensorKind::KvCache, _) => 0,
+            (
+                TensorKind::Weight | TensorKind::Input | TensorKind::Metadata | TensorKind::KvCache,
+                _,
+            ) => 0,
             (_, Some(p)) => p,
             (_, None) => 0,
         };
@@ -293,7 +301,11 @@ pub fn plan_with_policy(
     }
 
     let (hbm_peak, _) = peak_of(&symbols);
-    MemoryPlan { placements: symbols, hbm_peak, spilled }
+    MemoryPlan {
+        placements: symbols,
+        hbm_peak,
+        spilled,
+    }
 }
 
 #[cfg(test)]
@@ -309,7 +321,9 @@ mod tests {
         for l in 0..layers {
             b.set_region(l);
             let w = b.tensor("w", Shape::mat(4096, 4096), DType::Bf16, TensorKind::Weight);
-            cur = b.node("g", OpKind::Gemm { transpose_b: false }, &[cur, w]).unwrap();
+            cur = b
+                .node("g", OpKind::Gemm { transpose_b: false }, &[cur, w])
+                .unwrap();
             cur = b.node("a", OpKind::Unary(UnaryKind::Gelu), &[cur]).unwrap();
         }
         b.mark_output(cur);

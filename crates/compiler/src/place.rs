@@ -104,7 +104,11 @@ impl Placer {
         let flow_ids_mpls = max_link_load;
         PlacementReport {
             positions_used,
-            avg_hops: if edges == 0 { 0.0 } else { total_hops as f64 / edges as f64 },
+            avg_hops: if edges == 0 {
+                0.0
+            } else {
+                total_hops as f64 / edges as f64
+            },
             max_link_load,
             flow_ids_global,
             flow_ids_mpls,
@@ -127,7 +131,11 @@ mod tests {
         let placer = Placer::new(SocketSpec::sn40l().chip.tile);
         let report = placer.place(&g, &exe.kernels()[0]);
         assert!(report.positions_used > 0);
-        assert!(report.avg_hops < 10.0, "snake placement keeps hops short: {}", report.avg_hops);
+        assert!(
+            report.avg_hops < 10.0,
+            "snake placement keeps hops short: {}",
+            report.avg_hops
+        );
     }
 
     #[test]

@@ -99,8 +99,7 @@ impl ResourceModel {
         }
         let out = graph.tensor(n.output);
         let tile_bytes = tile_bytes(&out.shape, out.dtype.size_bytes());
-        let capacity_pmus =
-            (2 * tile_bytes.as_u64()).div_ceil(self.pmu_capacity.as_u64()) as usize;
+        let capacity_pmus = (2 * tile_bytes.as_u64()).div_ceil(self.pmu_capacity.as_u64()) as usize;
         // GEMMs also stage their weight panels on-chip.
         let weight_pmus = if n.op.is_gemm() { 2 } else { 0 };
         capacity_pmus.max(1) + weight_pmus
@@ -152,7 +151,9 @@ mod tests {
         let mut b = GraphBuilder::new("t");
         let x = b.tensor("x", Shape::mat(m, k), DType::Bf16, TensorKind::Input);
         let w = b.tensor("w", Shape::mat(k, n), DType::Bf16, TensorKind::Weight);
-        let y = b.node("g", OpKind::Gemm { transpose_b: false }, &[x, w]).unwrap();
+        let y = b
+            .node("g", OpKind::Gemm { transpose_b: false }, &[x, w])
+            .unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let n = g.node_ids().next().unwrap();
@@ -190,13 +191,18 @@ mod tests {
     fn reorders_use_no_pcus() {
         let mut b = GraphBuilder::new("t");
         let x = b.tensor("x", Shape::mat(64, 64), DType::Bf16, TensorKind::Input);
-        let y = b.node("tr", OpKind::Transpose { perm: vec![1, 0] }, &[x]).unwrap();
+        let y = b
+            .node("tr", OpKind::Transpose { perm: vec![1, 0] }, &[x])
+            .unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let n = g.node_ids().next().unwrap();
         let m = model();
         assert_eq!(m.node_pcus(&g, n), 0);
-        assert!(m.node_pmus(&g, n) >= 1, "the reorder still needs its buffer");
+        assert!(
+            m.node_pmus(&g, n) >= 1,
+            "the reorder still needs its buffer"
+        );
     }
 
     #[test]

@@ -48,27 +48,46 @@ fn build_graph(rows: usize, cols0: usize, steps: &[Step]) -> Graph {
                     DType::Bf16,
                     TensorKind::Weight,
                 );
-                cur = b.node(format!("gemm{i}"), OpKind::Gemm { transpose_b: false }, &[cur, w])
+                cur = b
+                    .node(
+                        format!("gemm{i}"),
+                        OpKind::Gemm { transpose_b: false },
+                        &[cur, w],
+                    )
                     .expect("gemm builds");
             }
             Step::Unary(u) => {
-                let kind = [UnaryKind::Gelu, UnaryKind::Silu, UnaryKind::Neg, UnaryKind::Scale]
-                    [*u as usize % 4];
-                cur = b.node(format!("un{i}"), OpKind::Unary(kind), &[cur]).expect("unary builds");
+                let kind = [
+                    UnaryKind::Gelu,
+                    UnaryKind::Silu,
+                    UnaryKind::Neg,
+                    UnaryKind::Scale,
+                ][*u as usize % 4];
+                cur = b
+                    .node(format!("un{i}"), OpKind::Unary(kind), &[cur])
+                    .expect("unary builds");
             }
             Step::BinarySelf(k) => {
                 let kind = [BinaryKind::Add, BinaryKind::Mul, BinaryKind::Max][*k as usize % 3];
-                cur = b.node(format!("bin{i}"), OpKind::Binary(kind), &[cur, cur])
+                cur = b
+                    .node(format!("bin{i}"), OpKind::Binary(kind), &[cur, cur])
                     .expect("binary builds");
             }
             Step::Transpose => {
-                cur = b.node(format!("tr{i}"), OpKind::Transpose { perm: vec![1, 0] }, &[cur])
+                cur = b
+                    .node(
+                        format!("tr{i}"),
+                        OpKind::Transpose { perm: vec![1, 0] },
+                        &[cur],
+                    )
                     .expect("transpose builds");
             }
             Step::RowLocal(k) => {
-                let op = [OpKind::Softmax, OpKind::RmsNorm, OpKind::LayerNorm][*k as usize % 3]
-                    .clone();
-                cur = b.node(format!("rl{i}"), op, &[cur]).expect("rowlocal builds");
+                let op =
+                    [OpKind::Softmax, OpKind::RmsNorm, OpKind::LayerNorm][*k as usize % 3].clone();
+                cur = b
+                    .node(format!("rl{i}"), op, &[cur])
+                    .expect("rowlocal builds");
             }
             Step::Region => {
                 region += 1;
@@ -78,7 +97,9 @@ fn build_graph(rows: usize, cols0: usize, steps: &[Step]) -> Graph {
     }
     if b.node_count() == 0 {
         // A recipe of only region markers adds no operators.
-        cur = b.node("tail", OpKind::Unary(UnaryKind::Neg), &[cur]).expect("unary builds");
+        cur = b
+            .node("tail", OpKind::Unary(UnaryKind::Neg), &[cur])
+            .expect("unary builds");
     }
     b.mark_output(cur);
     b.build().expect("non-empty")

@@ -115,8 +115,7 @@ impl Graph {
     /// FLOPs performed by one node.
     pub fn node_flops(&self, id: NodeId) -> Flops {
         let node = self.node(id);
-        let inputs: Vec<&Shape> =
-            node.inputs.iter().map(|&t| &self.tensor(t).shape).collect();
+        let inputs: Vec<&Shape> = node.inputs.iter().map(|&t| &self.tensor(t).shape).collect();
         let out = self.tensor(node.output);
         node.op.flops(&inputs, &out.shape, out.dtype)
     }
@@ -200,8 +199,10 @@ impl Graph {
         for &nid in nodes {
             let node = self.node(nid);
             for &t in &node.inputs {
-                let produced_inside =
-                    self.producer(t).map(|p| inside.contains(&p)).unwrap_or(false);
+                let produced_inside = self
+                    .producer(t)
+                    .map(|p| inside.contains(&p))
+                    .unwrap_or(false);
                 if !produced_inside && self.tensor(t).is_offchip() && read_tensors.insert(t) {
                     traffic += self.tensor(t).bytes();
                 }
@@ -319,7 +320,10 @@ impl GraphBuilder {
                 return Err(GraphError::UnknownTensor(format!("{t}")));
             }
         }
-        let shapes: Vec<&Shape> = inputs.iter().map(|&t| &self.tensors[t.index()].shape).collect();
+        let shapes: Vec<&Shape> = inputs
+            .iter()
+            .map(|&t| &self.tensors[t.index()].shape)
+            .collect();
         let out_shape = op.infer_shape(&shapes).map_err(GraphError::Shape)?;
         let dtype = out_dtype.unwrap_or_else(|| self.tensors[inputs[0].index()].dtype);
         let node_name = self.unique_name(name.as_ref());
@@ -395,11 +399,21 @@ mod tests {
         let w1 = b.tensor("w1", Shape::mat(128, 512), DType::Bf16, TensorKind::Weight);
         let w3 = b.tensor("w3", Shape::mat(128, 512), DType::Bf16, TensorKind::Weight);
         let w2 = b.tensor("w2", Shape::mat(512, 128), DType::Bf16, TensorKind::Weight);
-        let g = b.node("gate", OpKind::Gemm { transpose_b: false }, &[x, w1]).unwrap();
-        let a = b.node("act", OpKind::Unary(crate::op::UnaryKind::Silu), &[g]).unwrap();
-        let u = b.node("up", OpKind::Gemm { transpose_b: false }, &[x, w3]).unwrap();
-        let m = b.node("mix", OpKind::Binary(BinaryKind::Mul), &[a, u]).unwrap();
-        let y = b.node("down", OpKind::Gemm { transpose_b: false }, &[m, w2]).unwrap();
+        let g = b
+            .node("gate", OpKind::Gemm { transpose_b: false }, &[x, w1])
+            .unwrap();
+        let a = b
+            .node("act", OpKind::Unary(crate::op::UnaryKind::Silu), &[g])
+            .unwrap();
+        let u = b
+            .node("up", OpKind::Gemm { transpose_b: false }, &[x, w3])
+            .unwrap();
+        let m = b
+            .node("mix", OpKind::Binary(BinaryKind::Mul), &[a, u])
+            .unwrap();
+        let y = b
+            .node("down", OpKind::Gemm { transpose_b: false }, &[m, w2])
+            .unwrap();
         b.mark_output(y);
         b.build().unwrap()
     }
@@ -464,22 +478,28 @@ mod tests {
     fn duplicate_names_are_uniquified() {
         let mut b = GraphBuilder::new("dup");
         let x = b.tensor("x", Shape::mat(4, 4), DType::Bf16, TensorKind::Input);
-        let a = b.node("op", OpKind::Unary(crate::op::UnaryKind::Neg), &[x]).unwrap();
-        let _ = b.node("op", OpKind::Unary(crate::op::UnaryKind::Neg), &[a]).unwrap();
+        let a = b
+            .node("op", OpKind::Unary(crate::op::UnaryKind::Neg), &[x])
+            .unwrap();
+        let _ = b
+            .node("op", OpKind::Unary(crate::op::UnaryKind::Neg), &[a])
+            .unwrap();
         let g = b.build().unwrap();
         assert_ne!(g.nodes()[0].name, g.nodes()[1].name);
     }
 
     #[test]
     fn empty_graph_rejected() {
-        assert_eq!(GraphBuilder::new("e").build().unwrap_err(), GraphError::Empty);
+        assert_eq!(
+            GraphBuilder::new("e").build().unwrap_err(),
+            GraphError::Empty
+        );
     }
 
     #[test]
     fn foreign_tensor_rejected() {
         let mut other = GraphBuilder::new("other");
-        let foreign =
-            other.tensor("x", Shape::mat(4, 4), DType::Bf16, TensorKind::Input);
+        let foreign = other.tensor("x", Shape::mat(4, 4), DType::Bf16, TensorKind::Input);
         let mut b = GraphBuilder::new("b");
         let err = b.node("op", OpKind::Unary(crate::op::UnaryKind::Neg), &[foreign]);
         assert!(matches!(err, Err(GraphError::UnknownTensor(_))));
@@ -490,7 +510,9 @@ mod tests {
         let mut b = GraphBuilder::new("gen");
         let x = b.tensor("x", Shape::mat(64, 64), DType::Bf16, TensorKind::Input);
         let tw = b.tensor("tw", Shape::mat(64, 64), DType::Bf16, TensorKind::Generated);
-        let y = b.node("mul", OpKind::Binary(BinaryKind::Mul), &[x, tw]).unwrap();
+        let y = b
+            .node("mul", OpKind::Binary(BinaryKind::Mul), &[x, tw])
+            .unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let n = g.node_ids().next().unwrap();

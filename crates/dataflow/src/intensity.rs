@@ -45,8 +45,7 @@ pub fn contraction_anchored_partition(graph: &Graph) -> KernelPartition {
     let mut current: Vec<NodeId> = Vec::new();
     let mut seen_contraction = false;
     for nid in graph.node_ids() {
-        let is_contraction =
-            graph.node(nid).op.access_pattern() == AccessPattern::Contraction;
+        let is_contraction = graph.node(nid).op.access_pattern() == AccessPattern::Contraction;
         if is_contraction && seen_contraction {
             partition.push(std::mem::take(&mut current));
             seen_contraction = false;
@@ -70,23 +69,34 @@ pub fn fused_partition(graph: &Graph) -> KernelPartition {
 /// Total off-chip traffic of a partition: the sum of each kernel's boundary
 /// bytes.
 pub fn partition_traffic(graph: &Graph, partition: &KernelPartition) -> Bytes {
-    partition.iter().map(|k| graph.subset_boundary_bytes(k)).sum()
+    partition
+        .iter()
+        .map(|k| graph.subset_boundary_bytes(k))
+        .sum()
 }
 
 /// Operational intensity (FLOPs per off-chip byte) of a partition.
 pub fn partition_intensity(graph: &Graph, partition: &KernelPartition) -> f64 {
-    graph.total_flops().intensity(partition_traffic(graph, partition))
+    graph
+        .total_flops()
+        .intensity(partition_traffic(graph, partition))
 }
 
 /// Computes Table I: intensity at each of the three fusion levels.
 pub fn fusion_levels(graph: &Graph) -> HashMap<FusionLevel, f64> {
     let mut m = HashMap::new();
-    m.insert(FusionLevel::None, partition_intensity(graph, &unfused_partition(graph)));
+    m.insert(
+        FusionLevel::None,
+        partition_intensity(graph, &unfused_partition(graph)),
+    );
     m.insert(
         FusionLevel::Partial,
         partition_intensity(graph, &contraction_anchored_partition(graph)),
     );
-    m.insert(FusionLevel::Full, partition_intensity(graph, &fused_partition(graph)));
+    m.insert(
+        FusionLevel::Full,
+        partition_intensity(graph, &fused_partition(graph)),
+    );
     m
 }
 
@@ -119,10 +129,18 @@ mod tests {
         let x = b.tensor("x", Shape::mat(256, 256), DType::Bf16, TensorKind::Input);
         let w0 = b.tensor("w0", Shape::mat(256, 256), DType::Bf16, TensorKind::Weight);
         let w1 = b.tensor("w1", Shape::mat(256, 256), DType::Bf16, TensorKind::Weight);
-        let g0 = b.node("gemm0", OpKind::Gemm { transpose_b: false }, &[x, w0]).unwrap();
-        let a = b.node("act", OpKind::Unary(UnaryKind::Gelu), &[g0]).unwrap();
-        let t = b.node("tr", OpKind::Transpose { perm: vec![1, 0] }, &[a]).unwrap();
-        let g1 = b.node("gemm1", OpKind::Gemm { transpose_b: false }, &[t, w1]).unwrap();
+        let g0 = b
+            .node("gemm0", OpKind::Gemm { transpose_b: false }, &[x, w0])
+            .unwrap();
+        let a = b
+            .node("act", OpKind::Unary(UnaryKind::Gelu), &[g0])
+            .unwrap();
+        let t = b
+            .node("tr", OpKind::Transpose { perm: vec![1, 0] }, &[a])
+            .unwrap();
+        let g1 = b
+            .node("gemm1", OpKind::Gemm { transpose_b: false }, &[t, w1])
+            .unwrap();
         b.mark_output(g1);
         b.build().unwrap()
     }

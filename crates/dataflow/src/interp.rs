@@ -35,8 +35,16 @@ impl TensorData {
     ///
     /// Panics if `values.len()` does not match the shape.
     pub fn new(shape: Shape, values: Vec<f32>) -> Self {
-        assert_eq!(values.len() as u64, shape.elements(), "value count mismatch");
-        TensorData { shape, dtype: DType::Fp32, values }
+        assert_eq!(
+            values.len() as u64,
+            shape.elements(),
+            "value count mismatch"
+        );
+        TensorData {
+            shape,
+            dtype: DType::Fp32,
+            values,
+        }
     }
 
     /// Floats per element for a dtype (2 for complex).
@@ -49,7 +57,11 @@ impl TensorData {
 
     fn zeros(shape: Shape, dtype: DType) -> Self {
         let n = shape.elements() as usize * Self::lanes(dtype);
-        TensorData { shape, dtype, values: vec![0.0; n] }
+        TensorData {
+            shape,
+            dtype,
+            values: vec![0.0; n],
+        }
     }
 
     fn is_complex(&self) -> bool {
@@ -120,7 +132,11 @@ impl Interpreter {
             let def = graph.tensor(t);
             let data = match inputs.get(&t) {
                 Some(d) => {
-                    assert_eq!(d.shape, def.shape, "supplied shape mismatch for {}", def.name);
+                    assert_eq!(
+                        d.shape, def.shape,
+                        "supplied shape mismatch for {}",
+                        def.name
+                    );
                     let mut d = d.clone();
                     d.dtype = def.dtype;
                     d
@@ -154,7 +170,11 @@ impl Interpreter {
         inputs: &HashMap<TensorId, TensorData>,
     ) -> Result<Vec<TensorData>, InterpError> {
         let env = self.run(graph, inputs)?;
-        Ok(graph.outputs().into_iter().map(|t| env[&t].clone()).collect())
+        Ok(graph
+            .outputs()
+            .into_iter()
+            .map(|t| env[&t].clone())
+            .collect())
     }
 
     fn eval_node(
@@ -204,7 +224,9 @@ impl Interpreter {
             OpKind::Rope => Ok(rope(ins[0])),
             OpKind::Reduce(k) => Ok(reduce(*k, ins[0], out_shape)),
             OpKind::Embedding => Ok(embedding(ins[0], ins[1], out_shape)),
-            OpKind::Slice { axis, parts, index } => Ok(slice(ins[0], *axis, *parts, *index, out_shape)),
+            OpKind::Slice { axis, parts, index } => {
+                Ok(slice(ins[0], *axis, *parts, *index, out_shape))
+            }
             OpKind::Concat { axis } => Ok(concat(&ins, *axis, out_shape)),
             OpKind::KvAppend => Ok(kv_append(ins[0], ins[1])),
             // Single-socket semantics: the reduced value equals this
@@ -214,12 +236,21 @@ impl Interpreter {
     }
 }
 
-fn gemm(a: &TensorData, b: &TensorData, transpose_b: bool, out_shape: Shape, dtype: DType) -> TensorData {
+fn gemm(
+    a: &TensorData,
+    b: &TensorData,
+    transpose_b: bool,
+    out_shape: Shape,
+    dtype: DType,
+) -> TensorData {
     let complex = a.is_complex() || b.is_complex();
     let k = a.shape.inner();
     let (m, n) = {
         let dims = out_shape.dims();
-        (out_shape.elements() as usize / dims[dims.len() - 1], dims[dims.len() - 1])
+        (
+            out_shape.elements() as usize / dims[dims.len() - 1],
+            dims[dims.len() - 1],
+        )
     };
     let batched_b = b.shape.rank() == 3;
     let groups = if batched_b { b.shape.dims()[0] } else { 1 };
@@ -251,7 +282,11 @@ fn gemm(a: &TensorData, b: &TensorData, transpose_b: bool, out_shape: Shape, dty
             let (mut re, mut im) = (0.0f32, 0.0f32);
             for kk in 0..k {
                 let ai = row * k + kk;
-                let bi_local = if transpose_b { col * k + kk } else { kk * n + col };
+                let bi_local = if transpose_b {
+                    col * k + kk
+                } else {
+                    kk * n + col
+                };
                 let bi = g * (b_elems_per_group / lanes) + bi_local;
                 let (ar, ai_) = (get(a, ai, 0), get(a, ai, 1));
                 let (br, bi_) = (get(b, bi, 0), get(b, bi, 1));
@@ -276,10 +311,18 @@ fn unary(u: UnaryKind, x: &TensorData, out_dtype: DType) -> TensorData {
         let mut out = TensorData::zeros(x.shape.clone(), out_dtype);
         let out_complex = out.is_complex();
         for i in 0..x.shape.elements() as usize {
-            let re = if x.is_complex() { x.values[i * 2] } else { x.values[i] };
+            let re = if x.is_complex() {
+                x.values[i * 2]
+            } else {
+                x.values[i]
+            };
             if out_complex {
                 out.values[i * 2] = re;
-                out.values[i * 2 + 1] = if x.is_complex() { x.values[i * 2 + 1] } else { 0.0 };
+                out.values[i * 2 + 1] = if x.is_complex() {
+                    x.values[i * 2 + 1]
+                } else {
+                    0.0
+                };
             } else {
                 out.values[i] = re;
             }
@@ -289,7 +332,9 @@ fn unary(u: UnaryKind, x: &TensorData, out_dtype: DType) -> TensorData {
     let f = |v: f32| -> f32 {
         match u {
             UnaryKind::Silu => v / (1.0 + (-v).exp()),
-            UnaryKind::Gelu => 0.5 * v * (1.0 + (v * 0.797_884_6 * (1.0 + 0.044715 * v * v)).tanh()),
+            UnaryKind::Gelu => {
+                0.5 * v * (1.0 + (v * 0.797_884_6 * (1.0 + 0.044715 * v * v)).tanh())
+            }
             UnaryKind::Exp => v.exp(),
             UnaryKind::Rsqrt => 1.0 / v.abs().max(1e-12).sqrt(),
             UnaryKind::Scale => v * 0.125,
@@ -496,7 +541,9 @@ mod tests {
         let mut b = GraphBuilder::new("g");
         let x = b.tensor("x", Shape::mat(2, 3), DType::Fp32, TensorKind::Input);
         let w = b.tensor("w", Shape::mat(3, 2), DType::Fp32, TensorKind::Weight);
-        let y = b.node("mm", OpKind::Gemm { transpose_b: false }, &[x, w]).unwrap();
+        let y = b
+            .node("mm", OpKind::Gemm { transpose_b: false }, &[x, w])
+            .unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let mut inputs = HashMap::new();
@@ -511,7 +558,9 @@ mod tests {
         let mut b = GraphBuilder::new("g");
         let x = b.tensor("x", Shape::mat(2, 3), DType::Fp32, TensorKind::Input);
         let w = b.tensor("w", Shape::mat(2, 3), DType::Fp32, TensorKind::Weight);
-        let y = b.node("mm", OpKind::Gemm { transpose_b: true }, &[x, w]).unwrap();
+        let y = b
+            .node("mm", OpKind::Gemm { transpose_b: true }, &[x, w])
+            .unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let mut inputs = HashMap::new();
@@ -529,7 +578,9 @@ mod tests {
         let y = b.node("sm", OpKind::Softmax, &[x]).unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
-        let out = Interpreter::new(3).run_outputs(&g, &HashMap::new()).unwrap();
+        let out = Interpreter::new(3)
+            .run_outputs(&g, &HashMap::new())
+            .unwrap();
         for row in out[0].values.chunks(8) {
             let sum: f32 = row.iter().sum();
             assert!((sum - 1.0).abs() < 1e-5, "row sums to {sum}");
@@ -541,7 +592,9 @@ mod tests {
     fn transpose_moves_elements() {
         let mut b = GraphBuilder::new("t");
         let x = b.tensor("x", Shape::mat(2, 3), DType::Fp32, TensorKind::Input);
-        let y = b.node("tr", OpKind::Transpose { perm: vec![1, 0] }, &[x]).unwrap();
+        let y = b
+            .node("tr", OpKind::Transpose { perm: vec![1, 0] }, &[x])
+            .unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let mut inputs = HashMap::new();
@@ -553,9 +606,30 @@ mod tests {
     #[test]
     fn double_transpose_is_identity() {
         let mut b = GraphBuilder::new("t2");
-        let x = b.tensor("x", Shape::new(vec![2, 3, 4]), DType::Fp32, TensorKind::Input);
-        let t1 = b.node("a", OpKind::Transpose { perm: vec![0, 2, 1] }, &[x]).unwrap();
-        let t2 = b.node("b", OpKind::Transpose { perm: vec![0, 2, 1] }, &[t1]).unwrap();
+        let x = b.tensor(
+            "x",
+            Shape::new(vec![2, 3, 4]),
+            DType::Fp32,
+            TensorKind::Input,
+        );
+        let t1 = b
+            .node(
+                "a",
+                OpKind::Transpose {
+                    perm: vec![0, 2, 1],
+                },
+                &[x],
+            )
+            .unwrap();
+        let t2 = b
+            .node(
+                "b",
+                OpKind::Transpose {
+                    perm: vec![0, 2, 1],
+                },
+                &[t1],
+            )
+            .unwrap();
         b.mark_output(t2);
         let g = b.build().unwrap();
         let env = Interpreter::new(5).run(&g, &HashMap::new()).unwrap();
@@ -567,8 +641,15 @@ mod tests {
         // (1 + i) * (1 + i) = 2i via a 1x1x1 complex gemm.
         let mut b = GraphBuilder::new("c");
         let x = b.tensor("x", Shape::mat(1, 1), DType::ComplexBf16, TensorKind::Input);
-        let w = b.tensor("w", Shape::mat(1, 1), DType::ComplexBf16, TensorKind::Weight);
-        let y = b.node("mm", OpKind::Gemm { transpose_b: false }, &[x, w]).unwrap();
+        let w = b.tensor(
+            "w",
+            Shape::mat(1, 1),
+            DType::ComplexBf16,
+            TensorKind::Weight,
+        );
+        let y = b
+            .node("mm", OpKind::Gemm { transpose_b: false }, &[x, w])
+            .unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let mut inputs = HashMap::new();
@@ -588,8 +669,28 @@ mod tests {
     fn slice_concat_roundtrip() {
         let mut b = GraphBuilder::new("sc");
         let x = b.tensor("x", Shape::mat(4, 6), DType::Fp32, TensorKind::Input);
-        let a = b.node("s0", OpKind::Slice { axis: 1, parts: 2, index: 0 }, &[x]).unwrap();
-        let c = b.node("s1", OpKind::Slice { axis: 1, parts: 2, index: 1 }, &[x]).unwrap();
+        let a = b
+            .node(
+                "s0",
+                OpKind::Slice {
+                    axis: 1,
+                    parts: 2,
+                    index: 0,
+                },
+                &[x],
+            )
+            .unwrap();
+        let c = b
+            .node(
+                "s1",
+                OpKind::Slice {
+                    axis: 1,
+                    parts: 2,
+                    index: 1,
+                },
+                &[x],
+            )
+            .unwrap();
         let y = b.node("cat", OpKind::Concat { axis: 1 }, &[a, c]).unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
@@ -600,7 +701,9 @@ mod tests {
     #[test]
     fn monarch_graph_executes_finitely() {
         let g = crate::monarch::monarch_fft(2, 8);
-        let out = Interpreter::new(1).run_outputs(&g, &HashMap::new()).unwrap();
+        let out = Interpreter::new(1)
+            .run_outputs(&g, &HashMap::new())
+            .unwrap();
         assert!(out[0].values.iter().all(|v| v.is_finite()));
         assert!(out[0].values.iter().any(|&v| v != 0.0));
     }
@@ -608,14 +711,30 @@ mod tests {
     #[test]
     fn kv_append_places_new_rows_at_tail() {
         let mut b = GraphBuilder::new("kv");
-        let cache = b.tensor("c", Shape::new(vec![1, 4, 2]), DType::Fp32, TensorKind::KvCache);
-        let new = b.tensor("n", Shape::new(vec![1, 1, 2]), DType::Fp32, TensorKind::Input);
+        let cache = b.tensor(
+            "c",
+            Shape::new(vec![1, 4, 2]),
+            DType::Fp32,
+            TensorKind::KvCache,
+        );
+        let new = b.tensor(
+            "n",
+            Shape::new(vec![1, 1, 2]),
+            DType::Fp32,
+            TensorKind::Input,
+        );
         let y = b.node("app", OpKind::KvAppend, &[cache, new]).unwrap();
         b.mark_output(y);
         let g = b.build().unwrap();
         let mut inputs = HashMap::new();
-        inputs.insert(cache, TensorData::new(Shape::new(vec![1, 4, 2]), vec![0.0; 8]));
-        inputs.insert(new, TensorData::new(Shape::new(vec![1, 1, 2]), vec![7.0, 8.0]));
+        inputs.insert(
+            cache,
+            TensorData::new(Shape::new(vec![1, 4, 2]), vec![0.0; 8]),
+        );
+        inputs.insert(
+            new,
+            TensorData::new(Shape::new(vec![1, 1, 2]), vec![7.0, 8.0]),
+        );
         let out = Interpreter::new(0).run_outputs(&g, &inputs).unwrap();
         assert_eq!(&out[0].values[6..8], &[7.0, 8.0]);
         assert_eq!(&out[0].values[..6], &[0.0; 6]);
@@ -631,7 +750,10 @@ mod tests {
         let g = b.build().unwrap();
         let mut inputs = HashMap::new();
         inputs.insert(table, td(4, 2, vec![0., 1., 10., 11., 20., 21., 30., 31.]));
-        inputs.insert(ids, TensorData::new(Shape::new(vec![3]), vec![2.0, 0.0, 3.0]));
+        inputs.insert(
+            ids,
+            TensorData::new(Shape::new(vec![3]), vec![2.0, 0.0, 3.0]),
+        );
         let out = Interpreter::new(0).run_outputs(&g, &inputs).unwrap();
         assert_eq!(out[0].values, vec![20., 21., 0., 1., 30., 31.]);
     }
@@ -639,9 +761,15 @@ mod tests {
     #[test]
     fn unsupplied_sources_are_deterministic() {
         let g = crate::monarch::monarch_fft(2, 8);
-        let a = Interpreter::new(9).run_outputs(&g, &HashMap::new()).unwrap();
-        let b = Interpreter::new(9).run_outputs(&g, &HashMap::new()).unwrap();
-        let c = Interpreter::new(10).run_outputs(&g, &HashMap::new()).unwrap();
+        let a = Interpreter::new(9)
+            .run_outputs(&g, &HashMap::new())
+            .unwrap();
+        let b = Interpreter::new(9)
+            .run_outputs(&g, &HashMap::new())
+            .unwrap();
+        let c = Interpreter::new(10)
+            .run_outputs(&g, &HashMap::new())
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -55,26 +55,56 @@ pub fn monarch_fft(groups: usize, radix: usize) -> Graph {
     let mut b = GraphBuilder::new(format!("monarch-fft-{groups}x{radix}"));
     let view = Shape::new(vec![groups, radix, radix]);
     let x = b.tensor("X", view.clone(), DType::Bf16, TensorKind::Input);
-    let s1 = b.tensor("S1", Shape::mat(radix, radix), DType::ComplexBf16, TensorKind::Weight);
-    let s2 = b.tensor("S2", Shape::mat(radix, radix), DType::ComplexBf16, TensorKind::Weight);
+    let s1 = b.tensor(
+        "S1",
+        Shape::mat(radix, radix),
+        DType::ComplexBf16,
+        TensorKind::Weight,
+    );
+    let s2 = b.tensor(
+        "S2",
+        Shape::mat(radix, radix),
+        DType::ComplexBf16,
+        TensorKind::Weight,
+    );
     let twiddle = b.tensor("twiddle", view, DType::ComplexBf16, TensorKind::Generated);
     let xc = b
-        .node_with_dtype("to_complex", OpKind::Unary(UnaryKind::Cast), &[x], Some(DType::ComplexBf16))
+        .node_with_dtype(
+            "to_complex",
+            OpKind::Unary(UnaryKind::Cast),
+            &[x],
+            Some(DType::ComplexBf16),
+        )
         .expect("cast shapes are valid");
     let g0 = b
         .node("gemm0", OpKind::Gemm { transpose_b: false }, &[xc, s1])
         .expect("gemm0 shapes are valid");
     let tw = b
-        .node("mul_twiddle", OpKind::Binary(BinaryKind::Mul), &[g0, twiddle])
+        .node(
+            "mul_twiddle",
+            OpKind::Binary(BinaryKind::Mul),
+            &[g0, twiddle],
+        )
         .expect("twiddle mul shapes are valid");
     let tr = b
-        .node("transpose", OpKind::Transpose { perm: vec![0, 2, 1] }, &[tw])
+        .node(
+            "transpose",
+            OpKind::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            &[tw],
+        )
         .expect("transpose shapes are valid");
     let g1 = b
         .node("gemm1", OpKind::Gemm { transpose_b: false }, &[tr, s2])
         .expect("gemm1 shapes are valid");
     let y = b
-        .node_with_dtype("to_real", OpKind::Unary(UnaryKind::Cast), &[g1], Some(DType::Bf16))
+        .node_with_dtype(
+            "to_real",
+            OpKind::Unary(UnaryKind::Cast),
+            &[g1],
+            Some(DType::Bf16),
+        )
         .expect("cast shapes are valid");
     b.mark_output(y);
     b.build().expect("graph is non-empty")
@@ -100,9 +130,19 @@ pub fn flash_fft_conv(batch: usize, radix: usize, levels: usize) -> Graph {
     let view = Shape::new(vec![groups, radix, radix]);
     let mut b = GraphBuilder::new(format!("flashfftconv-{}", batch * seq_len));
     let x = b.tensor("X", view.clone(), DType::Bf16, TensorKind::Input);
-    let filter = b.tensor("filter_hat", view.clone(), DType::ComplexBf16, TensorKind::Weight);
+    let filter = b.tensor(
+        "filter_hat",
+        view.clone(),
+        DType::ComplexBf16,
+        TensorKind::Weight,
+    );
     let mut cur = b
-        .node_with_dtype("to_complex", OpKind::Unary(UnaryKind::Cast), &[x], Some(DType::ComplexBf16))
+        .node_with_dtype(
+            "to_complex",
+            OpKind::Unary(UnaryKind::Cast),
+            &[x],
+            Some(DType::ComplexBf16),
+        )
         .expect("cast shapes are valid");
 
     let fft_pass = |b: &mut GraphBuilder, mut cur: TensorId, tag: &str| -> TensorId {
@@ -114,7 +154,11 @@ pub fn flash_fft_conv(batch: usize, radix: usize, levels: usize) -> Graph {
                 TensorKind::Weight,
             );
             cur = b
-                .node(format!("{tag}_gemm{level}"), OpKind::Gemm { transpose_b: false }, &[cur, s])
+                .node(
+                    format!("{tag}_gemm{level}"),
+                    OpKind::Gemm { transpose_b: false },
+                    &[cur, s],
+                )
                 .expect("fft gemm shapes are valid");
             if level + 1 < levels {
                 let tw = b.tensor(
@@ -133,7 +177,9 @@ pub fn flash_fft_conv(batch: usize, radix: usize, levels: usize) -> Graph {
                 cur = b
                     .node(
                         format!("{tag}_transpose{level}"),
-                        OpKind::Transpose { perm: vec![0, 2, 1] },
+                        OpKind::Transpose {
+                            perm: vec![0, 2, 1],
+                        },
                         &[cur],
                     )
                     .expect("transpose shapes are valid");
@@ -144,12 +190,21 @@ pub fn flash_fft_conv(batch: usize, radix: usize, levels: usize) -> Graph {
 
     cur = fft_pass(&mut b, cur, "fft");
     cur = b
-        .node("filter_mul", OpKind::Binary(BinaryKind::Mul), &[cur, filter])
+        .node(
+            "filter_mul",
+            OpKind::Binary(BinaryKind::Mul),
+            &[cur, filter],
+        )
         .expect("filter mul shapes are valid");
     cur = fft_pass(&mut b, cur, "ifft");
 
     let y = b
-        .node_with_dtype("to_real", OpKind::Unary(UnaryKind::Cast), &[cur], Some(DType::Bf16))
+        .node_with_dtype(
+            "to_real",
+            OpKind::Unary(UnaryKind::Cast),
+            &[cur],
+            Some(DType::Bf16),
+        )
         .expect("cast shapes are valid");
     b.mark_output(y);
     b.build().expect("graph is non-empty")
@@ -219,6 +274,9 @@ mod tests {
         let g = flash_fft_conv(4, 32, 3);
         let levels = fusion_levels(&g);
         let ratio = levels[&FusionLevel::Full] / levels[&FusionLevel::None];
-        assert!(ratio > 5.0, "full fusion should transform intensity, got {ratio:.1}x");
+        assert!(
+            ratio > 5.0,
+            "full fusion should transform intensity, got {ratio:.1}x"
+        );
     }
 }

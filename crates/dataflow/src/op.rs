@@ -114,7 +114,11 @@ pub enum OpKind {
     Embedding,
     /// Contiguous slice of `parts` equal pieces along the given axis,
     /// returning piece `index`.
-    Slice { axis: usize, parts: usize, index: usize },
+    Slice {
+        axis: usize,
+        parts: usize,
+        index: usize,
+    },
     /// Concatenation of the inputs along `axis`.
     Concat { axis: usize },
     /// Appends this step's K or V rows into the cache tensor (decode).
@@ -211,7 +215,10 @@ impl OpKind {
                 arity(inputs, 1, self)?;
                 let target = Shape::new(dims.clone());
                 if target.elements() != inputs[0].elements() {
-                    return Err(format!("reshape {} -> {target} changes element count", inputs[0]));
+                    return Err(format!(
+                        "reshape {} -> {target} changes element count",
+                        inputs[0]
+                    ));
                 }
                 Ok(target)
             }
@@ -256,7 +263,10 @@ impl OpKind {
                     return Err(format!("bad slice axis={axis} parts={parts} index={index}"));
                 }
                 if !dims[*axis].is_multiple_of(*parts) {
-                    return Err(format!("axis {axis} of {} not divisible by {parts}", inputs[0]));
+                    return Err(format!(
+                        "axis {axis} of {} not divisible by {parts}",
+                        inputs[0]
+                    ));
                 }
                 dims[*axis] /= parts;
                 Ok(Shape::new(dims))
@@ -436,7 +446,10 @@ mod tests {
 
     #[test]
     fn sparse_gemm_scales_by_density() {
-        let op = OpKind::SparseGemm { density: 0.125, transpose_b: false };
+        let op = OpKind::SparseGemm {
+            density: 0.125,
+            transpose_b: false,
+        };
         let a = s(&[64, 64]);
         let b = s(&[64, 64]);
         let out = op.infer_shape(&[&a, &b]).unwrap();
@@ -447,9 +460,17 @@ mod tests {
 
     #[test]
     fn slice_divides_axis() {
-        let op = OpKind::Slice { axis: 1, parts: 4, index: 0 };
+        let op = OpKind::Slice {
+            axis: 1,
+            parts: 4,
+            index: 0,
+        };
         assert_eq!(op.infer_shape(&[&s(&[2, 8, 3])]).unwrap(), s(&[2, 2, 3]));
-        let bad = OpKind::Slice { axis: 1, parts: 3, index: 0 };
+        let bad = OpKind::Slice {
+            axis: 1,
+            parts: 3,
+            index: 0,
+        };
         assert!(bad.infer_shape(&[&s(&[2, 8, 3])]).is_err());
     }
 
@@ -488,7 +509,9 @@ mod tests {
 
     #[test]
     fn reshape_preserves_elements() {
-        let op = OpKind::Reshape { dims: vec![4, 2, 8] };
+        let op = OpKind::Reshape {
+            dims: vec![4, 2, 8],
+        };
         assert_eq!(op.infer_shape(&[&s(&[8, 8])]).unwrap(), s(&[4, 2, 8]));
         let bad = OpKind::Reshape { dims: vec![4, 4] };
         assert!(bad.infer_shape(&[&s(&[8, 8])]).is_err());
@@ -504,7 +527,10 @@ mod tests {
         let mismatched = s(&[3, 32, 8]);
         assert!(op.infer_shape(&[&a, &mismatched]).is_err());
         let rank2_a = s(&[16, 32]);
-        assert!(op.infer_shape(&[&rank2_a, &b]).is_err(), "rank-3 rhs needs rank-3 lhs");
+        assert!(
+            op.infer_shape(&[&rank2_a, &b]).is_err(),
+            "rank-3 rhs needs rank-3 lhs"
+        );
     }
 
     #[test]
@@ -533,9 +559,18 @@ mod tests {
 
     #[test]
     fn access_patterns_classify() {
-        assert_eq!(OpKind::Gemm { transpose_b: false }.access_pattern(), AccessPattern::Contraction);
+        assert_eq!(
+            OpKind::Gemm { transpose_b: false }.access_pattern(),
+            AccessPattern::Contraction
+        );
         assert_eq!(OpKind::Softmax.access_pattern(), AccessPattern::RowLocal);
-        assert_eq!(OpKind::Binary(BinaryKind::Add).access_pattern(), AccessPattern::Streaming);
-        assert_eq!(OpKind::AllReduce { participants: 8 }.access_pattern(), AccessPattern::Collective);
+        assert_eq!(
+            OpKind::Binary(BinaryKind::Add).access_pattern(),
+            AccessPattern::Streaming
+        );
+        assert_eq!(
+            OpKind::AllReduce { participants: 8 }.access_pattern(),
+            AccessPattern::Collective
+        );
     }
 }

@@ -23,7 +23,10 @@ impl Shape {
     /// model-construction bug in this workspace.
     pub fn new(dims: Vec<usize>) -> Self {
         assert!(!dims.is_empty(), "shape must have at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "zero dimension in shape {dims:?}");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero dimension in shape {dims:?}"
+        );
         Shape(dims)
     }
 

@@ -34,7 +34,9 @@ pub fn graph_stats(graph: &Graph) -> GraphStats {
     let mut gemm_flops = Flops::ZERO;
     for nid in graph.node_ids() {
         let node = graph.node(nid);
-        *op_histogram.entry(node.op.mnemonic().to_string()).or_insert(0) += 1;
+        *op_histogram
+            .entry(node.op.mnemonic().to_string())
+            .or_insert(0) += 1;
         let pat = match node.op.access_pattern() {
             AccessPattern::Streaming => "streaming",
             AccessPattern::Contraction => "contraction",
@@ -94,7 +96,11 @@ impl GraphStats {
 
 impl fmt::Display for GraphStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}: {} ops, {} tensors, {}", self.name, self.nodes, self.tensors, self.total_flops)?;
+        writeln!(
+            f,
+            "{}: {} ops, {} tensors, {}",
+            self.name, self.nodes, self.tensors, self.total_flops
+        )?;
         write!(f, "  ops:")?;
         for (op, n) in &self.op_histogram {
             write!(f, " {op}x{n}")?;

@@ -48,7 +48,10 @@ impl TensorKind {
     /// Whether the runtime may skip copying this tensor back to DDR when an
     /// expert is evicted from HBM (§V-B).
     pub fn is_read_only(self) -> bool {
-        matches!(self, TensorKind::Weight | TensorKind::Metadata | TensorKind::Generated)
+        matches!(
+            self,
+            TensorKind::Weight | TensorKind::Metadata | TensorKind::Generated
+        )
     }
 }
 
@@ -63,7 +66,12 @@ pub struct TensorDef {
 
 impl TensorDef {
     pub fn new(name: impl Into<String>, shape: Shape, dtype: DType, kind: TensorKind) -> Self {
-        TensorDef { name: name.into(), shape, dtype, kind }
+        TensorDef {
+            name: name.into(),
+            shape,
+            dtype,
+            kind,
+        }
     }
 
     /// Storage footprint of this tensor.

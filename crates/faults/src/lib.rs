@@ -1,0 +1,25 @@
+//! Deterministic fault injection for the SN40L serving stack.
+//!
+//! The paper's headline deployment — a trillion-parameter Samba-CoE with
+//! 150 experts streaming between three memory tiers (§V-B, §VI-B) — only
+//! holds up in production if the *mechanisms* (DMA scheduling, expert
+//! activation, routing, cluster fan-out) behave correctly off the happy
+//! path. This crate provides the perturbation layer the rest of the stack
+//! consults:
+//!
+//! - [`FaultPlan`]: a seeded, per-site fault schedule. Each operation site
+//!   ([`FaultSite`]) draws an independent deterministic stream, so the
+//!   same seed yields the same injected faults regardless of how sites
+//!   interleave — simulation results stay byte-reproducible.
+//! - [`RetryPolicy`]: bounded retries with exponential backoff and a
+//!   per-attempt timeout, plus a generic retry driver that accounts the
+//!   wasted time so serving reports can expose a `recovery` component.
+//!
+//! Everything here is simulation-side: a "fault" costs model time, not
+//! wall-clock time, and "backoff" is charged into latency reports.
+
+mod plan;
+mod retry;
+
+pub use plan::{FaultDecision, FaultPlan, FaultSite, FaultSpec, FaultStats, SiteStats};
+pub use retry::{Recovery, RetryError, RetryPolicy};

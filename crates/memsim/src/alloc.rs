@@ -37,7 +37,11 @@ impl Region {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AllocError {
     /// Not enough contiguous space in the tier.
-    OutOfMemory { tier: MemoryTier, requested: Bytes, free: Bytes },
+    OutOfMemory {
+        tier: MemoryTier,
+        requested: Bytes,
+        free: Bytes,
+    },
     /// `free` was called with a region this allocator does not own.
     UnknownRegion(Region),
     /// A zero-byte allocation was requested.
@@ -47,8 +51,15 @@ pub enum AllocError {
 impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AllocError::OutOfMemory { tier, requested, free } => {
-                write!(f, "out of memory in {tier}: requested {requested}, {free} free")
+            AllocError::OutOfMemory {
+                tier,
+                requested,
+                free,
+            } => {
+                write!(
+                    f,
+                    "out of memory in {tier}: requested {requested}, {free} free"
+                )
             }
             AllocError::UnknownRegion(r) => {
                 write!(f, "freeing unknown region at {}+{}", r.offset, r.size)
@@ -77,9 +88,17 @@ pub struct RegionAllocator {
 impl RegionAllocator {
     /// Creates an allocator over `capacity` bytes of the given tier.
     pub fn new(tier: MemoryTier, capacity: Bytes) -> Self {
-        let free_list =
-            if capacity == Bytes::ZERO { Vec::new() } else { vec![(0, capacity.as_u64())] };
-        RegionAllocator { tier, capacity, free_list, live: Vec::new() }
+        let free_list = if capacity == Bytes::ZERO {
+            Vec::new()
+        } else {
+            vec![(0, capacity.as_u64())]
+        };
+        RegionAllocator {
+            tier,
+            capacity,
+            free_list,
+            live: Vec::new(),
+        }
     }
 
     pub fn tier(&self) -> MemoryTier {
@@ -139,7 +158,11 @@ impl RegionAllocator {
         }
         let pos = self.live.partition_point(|&(o, _)| o < off);
         self.live.insert(pos, (off, need));
-        Ok(Region { tier: self.tier, offset: off, size })
+        Ok(Region {
+            tier: self.tier,
+            offset: off,
+            size,
+        })
     }
 
     /// Returns a region to the free list, coalescing with neighbors.

@@ -25,7 +25,10 @@ impl TransferReq {
 
     /// Ready immediately.
     pub fn now(bytes: Bytes) -> Self {
-        TransferReq { start: TimeSecs::ZERO, bytes }
+        TransferReq {
+            start: TimeSecs::ZERO,
+            bytes,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ impl BandwidthArbiter {
     ///
     /// Panics on zero capacity.
     pub fn new(capacity: Bandwidth) -> Self {
-        assert!(capacity.as_bytes_per_s() > 0.0, "arbiter needs positive capacity");
+        assert!(
+            capacity.as_bytes_per_s() > 0.0,
+            "arbiter needs positive capacity"
+        );
         BandwidthArbiter { capacity }
     }
 
@@ -115,7 +121,9 @@ impl BandwidthArbiter {
 
     /// The makespan: when the last transfer finishes.
     pub fn makespan(&self, requests: &[TransferReq]) -> TimeSecs {
-        self.schedule(requests).into_iter().fold(TimeSecs::ZERO, TimeSecs::max)
+        self.schedule(requests)
+            .into_iter()
+            .fold(TimeSecs::ZERO, TimeSecs::max)
     }
 }
 
@@ -141,7 +149,10 @@ mod tests {
         let r = TransferReq::now(Bytes::from_gb(1.0));
         let f = a.schedule(&[r, r]);
         for t in f {
-            assert!((t.as_secs() - 0.02).abs() < 1e-9, "both finish at 2x solo time");
+            assert!(
+                (t.as_secs() - 0.02).abs() < 1e-9,
+                "both finish at 2x solo time"
+            );
         }
     }
 
@@ -166,7 +177,10 @@ mod tests {
             TransferReq::at(TimeSecs::from_secs(1.0), Bytes::from_gb(1.0)),
         ]);
         assert!((f[0].as_secs() - 0.01).abs() < 1e-9);
-        assert!((f[1].as_secs() - 1.01).abs() < 1e-9, "starts at t=1 with full bandwidth");
+        assert!(
+            (f[1].as_secs() - 1.01).abs() < 1e-9,
+            "starts at t=1 with full bandwidth"
+        );
     }
 
     #[test]

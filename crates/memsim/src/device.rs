@@ -136,13 +136,19 @@ mod tests {
             Bytes::from_kib(16),
         );
         // Too big for HBM, fits in DDR.
-        let r = mem.alloc_with_spill(MemoryTier::Hbm, Bytes::from_kib(6)).unwrap();
+        let r = mem
+            .alloc_with_spill(MemoryTier::Hbm, Bytes::from_kib(6))
+            .unwrap();
         assert_eq!(r.tier, MemoryTier::Ddr);
         // Too big for HBM and DDR, fits in host.
-        let r2 = mem.alloc_with_spill(MemoryTier::Hbm, Bytes::from_kib(12)).unwrap();
+        let r2 = mem
+            .alloc_with_spill(MemoryTier::Hbm, Bytes::from_kib(12))
+            .unwrap();
         assert_eq!(r2.tier, MemoryTier::HostDram);
         // Too big for everything.
-        assert!(mem.alloc_with_spill(MemoryTier::Hbm, Bytes::from_kib(32)).is_err());
+        assert!(mem
+            .alloc_with_spill(MemoryTier::Hbm, Bytes::from_kib(32))
+            .is_err());
     }
 
     #[test]

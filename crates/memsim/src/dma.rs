@@ -9,7 +9,10 @@ use crate::tier::MemoryTier;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sn_arch::{Bandwidth, Bytes, SocketSpec, TimeSecs};
+use sn_faults::{FaultDecision, FaultPlan, FaultSite};
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 use std::sync::Arc;
 
 /// A directed transfer route between two tiers.
@@ -50,7 +53,11 @@ impl TrafficLedger {
 
     /// Total bytes moved on one route.
     pub fn moved(&self, route: Route) -> Bytes {
-        self.inner.lock().get(&route).copied().unwrap_or(Bytes::ZERO)
+        self.inner
+            .lock()
+            .get(&route)
+            .copied()
+            .unwrap_or(Bytes::ZERO)
     }
 
     /// Total bytes moved on all routes.
@@ -60,8 +67,7 @@ impl TrafficLedger {
 
     /// Snapshot of all routes for reporting.
     pub fn snapshot(&self) -> Vec<(Route, Bytes)> {
-        let mut v: Vec<(Route, Bytes)> =
-            self.inner.lock().iter().map(|(&r, &b)| (r, b)).collect();
+        let mut v: Vec<(Route, Bytes)> = self.inner.lock().iter().map(|(&r, &b)| (r, b)).collect();
         v.sort_by_key(|&(r, _)| (r.from, r.to));
         v
     }
@@ -72,12 +78,38 @@ impl TrafficLedger {
     }
 }
 
+/// A DMA transfer the fault plan failed: the data never arrived intact.
+///
+/// `wasted` is the model time burned before the corruption was detected
+/// (the full transfer time — end-to-end checksums only fire at
+/// completion). Callers charge it into their recovery accounting and
+/// retry or fail over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaFault {
+    pub route: Route,
+    pub bytes: Bytes,
+    pub wasted: TimeSecs,
+}
+
+impl fmt::Display for DmaFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DMA transfer of {} on {:?}->{:?} failed after {}",
+            self.bytes, self.route.from, self.route.to, self.wasted
+        )
+    }
+}
+
+impl Error for DmaFault {}
+
 /// Per-socket DMA engine: effective bandwidth for each route plus a shared
 /// ledger.
 #[derive(Debug, Clone)]
 pub struct DmaEngine {
     routes: HashMap<Route, Bandwidth>,
     ledger: TrafficLedger,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl DmaEngine {
@@ -98,7 +130,24 @@ impl DmaEngine {
         add(MemoryTier::Hbm, MemoryTier::HostDram, host.min(hbm));
         add(MemoryTier::HostDram, MemoryTier::Ddr, host.min(ddr));
         add(MemoryTier::Ddr, MemoryTier::HostDram, host.min(ddr));
-        DmaEngine { routes, ledger: TrafficLedger::new() }
+        DmaEngine {
+            routes,
+            ledger: TrafficLedger::new(),
+            faults: None,
+        }
+    }
+
+    /// Attaches a fault plan consulted by [`DmaEngine::try_transfer`].
+    /// The plain [`DmaEngine::transfer`] path stays fault-oblivious so
+    /// baseline timings are unchanged by merely holding a plan.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// The engine's traffic ledger.
@@ -113,7 +162,10 @@ impl DmaEngine {
     /// Panics on a route not present in the socket (e.g. SRAM routes, which
     /// belong to the on-chip simulator, not the DMA engine).
     pub fn bandwidth(&self, route: Route) -> Bandwidth {
-        *self.routes.get(&route).unwrap_or_else(|| panic!("no DMA route {route:?}"))
+        *self
+            .routes
+            .get(&route)
+            .unwrap_or_else(|| panic!("no DMA route {route:?}"))
     }
 
     /// Executes a timed transfer: records it in the ledger and returns the
@@ -124,6 +176,40 @@ impl DmaEngine {
             TimeSecs::ZERO
         } else {
             bytes / self.bandwidth(route)
+        }
+    }
+
+    /// Fault-aware transfer: consults the attached [`FaultPlan`] at the
+    /// [`FaultSite::DmaTransfer`] site before moving data.
+    ///
+    /// With no plan attached (or a draw of `Ok`) this is exactly
+    /// [`DmaEngine::transfer`]. A `Slow` draw stretches the transfer by
+    /// the plan's factor. A `Fail` draw aborts the transfer: nothing is
+    /// recorded in the ledger and the full transfer time comes back as
+    /// [`DmaFault::wasted`] for the caller's recovery accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`DmaFault`] when the plan injects an outright failure.
+    pub fn try_transfer(&self, route: Route, bytes: Bytes) -> Result<TimeSecs, DmaFault> {
+        let Some(plan) = &self.faults else {
+            return Ok(self.transfer(route, bytes));
+        };
+        match plan.decide(FaultSite::DmaTransfer) {
+            FaultDecision::Ok => Ok(self.transfer(route, bytes)),
+            FaultDecision::Slow(factor) => Ok(self.transfer(route, bytes) * factor),
+            FaultDecision::Fail => {
+                let wasted = if bytes == Bytes::ZERO {
+                    TimeSecs::ZERO
+                } else {
+                    bytes / self.bandwidth(route)
+                };
+                Err(DmaFault {
+                    route,
+                    bytes,
+                    wasted,
+                })
+            }
         }
     }
 
@@ -195,6 +281,48 @@ mod tests {
         let one = e.transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
         let four = e.transfer_shared(Route::DDR_TO_HBM, Bytes::from_gb(1.0), 4);
         assert!((four.as_secs() / one.as_secs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_transfer_without_plan_matches_transfer() {
+        let e = engine();
+        let plain = e.transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
+        let aware = e
+            .try_transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0))
+            .unwrap();
+        assert_eq!(plain, aware);
+    }
+
+    #[test]
+    fn injected_dma_failures_abort_and_charge_wasted_time() {
+        use sn_faults::{FaultPlan, FaultSite, FaultSpec};
+        let plan =
+            Arc::new(FaultPlan::new(11).with_site(FaultSite::DmaTransfer, FaultSpec::failing(1.0)));
+        let e = engine().with_faults(plan);
+        let err = e
+            .try_transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0))
+            .unwrap_err();
+        assert_eq!(err.route, Route::DDR_TO_HBM);
+        assert!(
+            err.wasted.as_secs() > 0.0,
+            "failure burns the transfer time"
+        );
+        // Aborted transfers never land in the ledger.
+        assert_eq!(e.ledger().total(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn injected_slowdowns_stretch_transfers() {
+        use sn_faults::{FaultPlan, FaultSite, FaultSpec};
+        let plan = Arc::new(
+            FaultPlan::new(11).with_site(FaultSite::DmaTransfer, FaultSpec::slow(1.0, 3.0)),
+        );
+        let e = engine().with_faults(plan);
+        let clean = engine().transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
+        let slowed = e
+            .try_transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0))
+            .unwrap();
+        assert!((slowed.as_secs() / clean.as_secs() - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod prelude {
     pub use crate::alloc::{AllocError, Region, RegionAllocator};
     pub use crate::arbiter::{BandwidthArbiter, TransferReq};
     pub use crate::device::DeviceMemory;
-    pub use crate::dma::{DmaEngine, Route, TrafficLedger};
+    pub use crate::dma::{DmaEngine, DmaFault, Route, TrafficLedger};
     pub use crate::tier::MemoryTier;
     pub use crate::translate::{PhysAddr, SegmentTable, TranslateError, VirtAddr};
 }

@@ -21,8 +21,12 @@ pub enum MemoryTier {
 
 impl MemoryTier {
     /// All tiers, fastest first.
-    pub const ALL: [MemoryTier; 4] =
-        [MemoryTier::Sram, MemoryTier::Hbm, MemoryTier::Ddr, MemoryTier::HostDram];
+    pub const ALL: [MemoryTier; 4] = [
+        MemoryTier::Sram,
+        MemoryTier::Hbm,
+        MemoryTier::Ddr,
+        MemoryTier::HostDram,
+    ];
 
     /// The next-larger (slower) tier, if any.
     pub fn spill_target(self) -> Option<MemoryTier> {

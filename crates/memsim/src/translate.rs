@@ -40,7 +40,11 @@ impl fmt::Display for TranslateError {
         match self {
             TranslateError::Unmapped(a) => write!(f, "unmapped virtual address {:#x}", a.0),
             TranslateError::Overlap { base, size } => {
-                write!(f, "segment at {:#x}+{size} overlaps an existing mapping", base.0)
+                write!(
+                    f,
+                    "segment at {:#x}+{size} overlaps an existing mapping",
+                    base.0
+                )
             }
             TranslateError::OutOfBounds { addr, len } => {
                 write!(f, "access {:#x}+{len} crosses its segment boundary", addr.0)
@@ -92,9 +96,19 @@ impl SegmentTable {
         let clash = (pos > 0 && self.segments[pos - 1].base + self.segments[pos - 1].size > base.0)
             || (pos < self.segments.len() && self.segments[pos].base < end);
         if clash {
-            return Err(TranslateError::Overlap { base, size: region.size });
+            return Err(TranslateError::Overlap {
+                base,
+                size: region.size,
+            });
         }
-        self.segments.insert(pos, Segment { base: base.0, size, region });
+        self.segments.insert(
+            pos,
+            Segment {
+                base: base.0,
+                size,
+                region,
+            },
+        );
         Ok(())
     }
 
@@ -124,7 +138,10 @@ impl SegmentTable {
         if addr.0 >= s.base + s.size {
             return Err(TranslateError::Unmapped(addr));
         }
-        Ok(PhysAddr { tier: s.region.tier, offset: s.region.offset + (addr.0 - s.base) })
+        Ok(PhysAddr {
+            tier: s.region.tier,
+            offset: s.region.offset + (addr.0 - s.base),
+        })
     }
 
     /// Translates a contiguous access, enforcing that it stays inside one
@@ -133,11 +150,7 @@ impl SegmentTable {
     /// # Errors
     ///
     /// [`TranslateError::Unmapped`] or [`TranslateError::OutOfBounds`].
-    pub fn translate_range(
-        &self,
-        addr: VirtAddr,
-        len: Bytes,
-    ) -> Result<PhysAddr, TranslateError> {
+    pub fn translate_range(&self, addr: VirtAddr, len: Bytes) -> Result<PhysAddr, TranslateError> {
         let p = self.translate(addr)?;
         let pos = self.segments.partition_point(|s| s.base <= addr.0);
         let s = &self.segments[pos - 1];
@@ -161,7 +174,10 @@ impl SegmentTable {
             .find(|s| s.base == base.0)
             .ok_or(TranslateError::Unmapped(base))?;
         if seg.size != region.size.as_u64() {
-            return Err(TranslateError::OutOfBounds { addr: base, len: region.size });
+            return Err(TranslateError::OutOfBounds {
+                addr: base,
+                len: region.size,
+            });
         }
         seg.region = region;
         Ok(())
@@ -175,13 +191,18 @@ mod tests {
     use proptest::prelude::*;
 
     fn region(tier: MemoryTier, offset: u64, size: u64) -> Region {
-        Region { tier, offset, size: Bytes::new(size) }
+        Region {
+            tier,
+            offset,
+            size: Bytes::new(size),
+        }
     }
 
     #[test]
     fn translate_offsets_within_segment() {
         let mut t = SegmentTable::new();
-        t.map(VirtAddr(0x1000), region(MemoryTier::Hbm, 0x4_0000, 0x1000)).unwrap();
+        t.map(VirtAddr(0x1000), region(MemoryTier::Hbm, 0x4_0000, 0x1000))
+            .unwrap();
         let p = t.translate(VirtAddr(0x1234)).unwrap();
         assert_eq!(p.tier, MemoryTier::Hbm);
         assert_eq!(p.offset, 0x4_0234);
@@ -190,26 +211,41 @@ mod tests {
     #[test]
     fn unmapped_addresses_fault() {
         let mut t = SegmentTable::new();
-        t.map(VirtAddr(0x1000), region(MemoryTier::Hbm, 0, 0x1000)).unwrap();
-        assert!(matches!(t.translate(VirtAddr(0xfff)), Err(TranslateError::Unmapped(_))));
-        assert!(matches!(t.translate(VirtAddr(0x2000)), Err(TranslateError::Unmapped(_))));
+        t.map(VirtAddr(0x1000), region(MemoryTier::Hbm, 0, 0x1000))
+            .unwrap();
+        assert!(matches!(
+            t.translate(VirtAddr(0xfff)),
+            Err(TranslateError::Unmapped(_))
+        ));
+        assert!(matches!(
+            t.translate(VirtAddr(0x2000)),
+            Err(TranslateError::Unmapped(_))
+        ));
     }
 
     #[test]
     fn overlapping_maps_rejected() {
         let mut t = SegmentTable::new();
-        t.map(VirtAddr(0x1000), region(MemoryTier::Hbm, 0, 0x1000)).unwrap();
-        assert!(t.map(VirtAddr(0x1800), region(MemoryTier::Ddr, 0, 0x1000)).is_err());
-        assert!(t.map(VirtAddr(0x800), region(MemoryTier::Ddr, 0, 0x900)).is_err());
+        t.map(VirtAddr(0x1000), region(MemoryTier::Hbm, 0, 0x1000))
+            .unwrap();
+        assert!(t
+            .map(VirtAddr(0x1800), region(MemoryTier::Ddr, 0, 0x1000))
+            .is_err());
+        assert!(t
+            .map(VirtAddr(0x800), region(MemoryTier::Ddr, 0, 0x900))
+            .is_err());
         // Adjacent is fine.
-        t.map(VirtAddr(0x2000), region(MemoryTier::Ddr, 0, 0x1000)).unwrap();
+        t.map(VirtAddr(0x2000), region(MemoryTier::Ddr, 0, 0x1000))
+            .unwrap();
     }
 
     #[test]
     fn ranged_access_cannot_straddle() {
         let mut t = SegmentTable::new();
-        t.map(VirtAddr(0), region(MemoryTier::Hbm, 0, 0x100)).unwrap();
-        t.map(VirtAddr(0x100), region(MemoryTier::Ddr, 0, 0x100)).unwrap();
+        t.map(VirtAddr(0), region(MemoryTier::Hbm, 0, 0x100))
+            .unwrap();
+        t.map(VirtAddr(0x100), region(MemoryTier::Ddr, 0, 0x100))
+            .unwrap();
         assert!(t.translate_range(VirtAddr(0x80), Bytes::new(0x80)).is_ok());
         assert!(matches!(
             t.translate_range(VirtAddr(0x80), Bytes::new(0x81)),
@@ -225,7 +261,8 @@ mod tests {
         let base = VirtAddr(0x10_0000);
         t.map(base, region(MemoryTier::Ddr, 0x999, 0x4000)).unwrap();
         assert_eq!(t.translate(base).unwrap().tier, MemoryTier::Ddr);
-        t.remap(base, region(MemoryTier::Hbm, 0x7000, 0x4000)).unwrap();
+        t.remap(base, region(MemoryTier::Hbm, 0x7000, 0x4000))
+            .unwrap();
         let p = t.translate(VirtAddr(0x10_0010)).unwrap();
         assert_eq!(p.tier, MemoryTier::Hbm);
         assert_eq!(p.offset, 0x7010);

@@ -50,14 +50,17 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
-    fn llm(
-        config: TransformerConfig,
-        phase: BenchmarkPhase,
-        seq: usize,
-        short: &str,
-    ) -> Benchmark {
+    fn llm(config: TransformerConfig, phase: BenchmarkPhase, seq: usize, short: &str) -> Benchmark {
         let name = format!("{short}-{}k-{}", seq / 1024, phase.tag());
-        Benchmark { name, config, phase, seq, batch: 1, sockets: 8, fft_conv: false }
+        Benchmark {
+            name,
+            config,
+            phase,
+            seq,
+            batch: 1,
+            sockets: 8,
+            fft_conv: false,
+        }
     }
 
     /// Builds this benchmark's per-socket dataflow graph.
@@ -73,8 +76,12 @@ impl Benchmark {
             return sn_dataflow::monarch::flash_fft_conv(8, 32, 4);
         }
         let phase = match self.phase {
-            BenchmarkPhase::Prefill => Phase::Prefill { prompt_tokens: self.seq },
-            BenchmarkPhase::Decode => Phase::Decode { past_tokens: self.seq },
+            BenchmarkPhase::Prefill => Phase::Prefill {
+                prompt_tokens: self.seq,
+            },
+            BenchmarkPhase::Decode => Phase::Decode {
+                past_tokens: self.seq,
+            },
             BenchmarkPhase::Train => Phase::Train { seq: self.seq },
         };
         build(&self.config, phase, self.batch, self.sockets)
@@ -86,9 +93,24 @@ impl Benchmark {
 pub fn table2() -> Vec<Benchmark> {
     let mut v = Vec::new();
     let llama7 = TransformerConfig::llama2_7b();
-    v.push(Benchmark::llm(llama7.clone(), BenchmarkPhase::Prefill, 4096, "llama7B"));
-    v.push(Benchmark::llm(llama7.clone(), BenchmarkPhase::Decode, 4096, "llama7B"));
-    v.push(Benchmark::llm(llama7, BenchmarkPhase::Train, 4096, "llama7B"));
+    v.push(Benchmark::llm(
+        llama7.clone(),
+        BenchmarkPhase::Prefill,
+        4096,
+        "llama7B",
+    ));
+    v.push(Benchmark::llm(
+        llama7.clone(),
+        BenchmarkPhase::Decode,
+        4096,
+        "llama7B",
+    ));
+    v.push(Benchmark::llm(
+        llama7,
+        BenchmarkPhase::Train,
+        4096,
+        "llama7B",
+    ));
     v.push(Benchmark::llm(
         TransformerConfig::sparsegpt_13b(),
         BenchmarkPhase::Train,
@@ -96,19 +118,69 @@ pub fn table2() -> Vec<Benchmark> {
         "sparseGPT-13B",
     ));
     let llama70 = TransformerConfig::llama2_70b();
-    v.push(Benchmark::llm(llama70.clone(), BenchmarkPhase::Prefill, 4096, "llama70B"));
-    v.push(Benchmark::llm(llama70, BenchmarkPhase::Decode, 4096, "llama70B"));
+    v.push(Benchmark::llm(
+        llama70.clone(),
+        BenchmarkPhase::Prefill,
+        4096,
+        "llama70B",
+    ));
+    v.push(Benchmark::llm(
+        llama70,
+        BenchmarkPhase::Decode,
+        4096,
+        "llama70B",
+    ));
     let bloom = TransformerConfig::bloom_176b();
-    v.push(Benchmark::llm(bloom.clone(), BenchmarkPhase::Prefill, 8192, "bloom176B"));
-    v.push(Benchmark::llm(bloom, BenchmarkPhase::Decode, 8192, "bloom176B"));
+    v.push(Benchmark::llm(
+        bloom.clone(),
+        BenchmarkPhase::Prefill,
+        8192,
+        "bloom176B",
+    ));
+    v.push(Benchmark::llm(
+        bloom,
+        BenchmarkPhase::Decode,
+        8192,
+        "bloom176B",
+    ));
     let mistral = TransformerConfig::mistral_7b();
-    v.push(Benchmark::llm(mistral.clone(), BenchmarkPhase::Prefill, 2048, "mistral7B"));
-    v.push(Benchmark::llm(mistral.clone(), BenchmarkPhase::Decode, 2048, "mistral7B"));
-    v.push(Benchmark::llm(mistral.clone(), BenchmarkPhase::Prefill, 4096, "mistral7B"));
-    v.push(Benchmark::llm(mistral, BenchmarkPhase::Decode, 4096, "mistral7B"));
+    v.push(Benchmark::llm(
+        mistral.clone(),
+        BenchmarkPhase::Prefill,
+        2048,
+        "mistral7B",
+    ));
+    v.push(Benchmark::llm(
+        mistral.clone(),
+        BenchmarkPhase::Decode,
+        2048,
+        "mistral7B",
+    ));
+    v.push(Benchmark::llm(
+        mistral.clone(),
+        BenchmarkPhase::Prefill,
+        4096,
+        "mistral7B",
+    ));
+    v.push(Benchmark::llm(
+        mistral,
+        BenchmarkPhase::Decode,
+        4096,
+        "mistral7B",
+    ));
     let falcon = TransformerConfig::falcon_40b();
-    v.push(Benchmark::llm(falcon.clone(), BenchmarkPhase::Prefill, 2048, "falcon40B"));
-    v.push(Benchmark::llm(falcon, BenchmarkPhase::Decode, 2048, "falcon40B"));
+    v.push(Benchmark::llm(
+        falcon.clone(),
+        BenchmarkPhase::Prefill,
+        2048,
+        "falcon40B",
+    ));
+    v.push(Benchmark::llm(
+        falcon,
+        BenchmarkPhase::Decode,
+        2048,
+        "falcon40B",
+    ));
     // LLaVA: prompt plus vision prefix.
     let llava = TransformerConfig::llava15_7b();
     let mut pf = Benchmark::llm(llava.clone(), BenchmarkPhase::Prefill, 4096, "llava1.5-7B");

@@ -215,7 +215,10 @@ impl TransformerConfig {
     pub fn mixtral_8x7b() -> Self {
         let mut cfg = Self::mistral_7b();
         cfg.name = "mixtral-8x7b".to_string();
-        cfg.moe = Some(MoeConfig { experts: 8, top_k: 2 });
+        cfg.moe = Some(MoeConfig {
+            experts: 8,
+            top_k: 2,
+        });
         cfg
     }
 

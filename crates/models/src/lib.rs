@@ -25,7 +25,7 @@ pub mod llm;
 pub mod vision;
 
 pub use catalog::{table2, Benchmark, BenchmarkPhase};
-pub use config::{Activation, Attention, Norm, TransformerConfig};
 pub use config::MoeConfig;
+pub use config::{Activation, Attention, Norm, TransformerConfig};
 pub use llm::{build, Phase};
 pub use vision::{build_vit, llava_pipeline, VitConfig};

@@ -72,7 +72,13 @@ pub fn build(
     tp: usize,
 ) -> Result<Graph, GraphError> {
     assert!(tp >= 1, "tensor parallel degree must be at least 1");
-    assert_eq!(cfg.heads % tp, 0, "{}: tp {tp} must divide {} heads", cfg.name, cfg.heads);
+    assert_eq!(
+        cfg.heads % tp,
+        0,
+        "{}: tp {tp} must divide {} heads",
+        cfg.name,
+        cfg.heads
+    );
     Builder::new(cfg, phase, batch, tp).build()
 }
 
@@ -92,7 +98,13 @@ impl<'a> Builder<'a> {
             Phase::Train { seq } => format!("train{seq}"),
         };
         let b = GraphBuilder::new(format!("{}-{}-bs{}-tp{}", cfg.name, phase_tag, batch, tp));
-        Builder { cfg, phase, batch, tp, b }
+        Builder {
+            cfg,
+            phase,
+            batch,
+            tp,
+            b,
+        }
     }
 
     /// Tokens flowing through the stack on this socket.
@@ -124,12 +136,20 @@ impl<'a> Builder<'a> {
     }
 
     fn weight(&mut self, name: &str, rows: usize, cols: usize) -> TensorId {
-        self.b.tensor(name, Shape::mat(rows, cols), self.cfg.weight_dtype, TensorKind::Weight)
+        self.b.tensor(
+            name,
+            Shape::mat(rows, cols),
+            self.cfg.weight_dtype,
+            TensorKind::Weight,
+        )
     }
 
     fn gemm(&mut self, name: &str, x: TensorId, w: TensorId) -> Result<TensorId, GraphError> {
         let op = if self.cfg.weight_density < 1.0 {
-            OpKind::SparseGemm { density: self.cfg.weight_density, transpose_b: false }
+            OpKind::SparseGemm {
+                density: self.cfg.weight_density,
+                transpose_b: false,
+            }
         } else {
             OpKind::Gemm { transpose_b: false }
         };
@@ -146,7 +166,13 @@ impl<'a> Builder<'a> {
 
     fn allreduce(&mut self, name: &str, x: TensorId) -> Result<TensorId, GraphError> {
         if self.tp > 1 {
-            self.b.node(name, OpKind::AllReduce { participants: self.tp }, &[x])
+            self.b.node(
+                name,
+                OpKind::AllReduce {
+                    participants: self.tp,
+                },
+                &[x],
+            )
         } else {
             Ok(x)
         }
@@ -191,7 +217,9 @@ impl<'a> Builder<'a> {
         // Per-head views.
         let q3 = self.b.node(
             "q_heads",
-            OpKind::Reshape { dims: vec![bh, s_q, d] },
+            OpKind::Reshape {
+                dims: vec![bh, s_q, d],
+            },
             &[q],
         )?;
         let (k_ctx, v_ctx) = match self.phase {
@@ -213,28 +241,40 @@ impl<'a> Builder<'a> {
                 );
                 let k_new = self.b.node(
                     "k_rows",
-                    OpKind::Reshape { dims: vec![bkv, s_q, d] },
+                    OpKind::Reshape {
+                        dims: vec![bkv, s_q, d],
+                    },
                     &[k],
                 )?;
                 let v_new = self.b.node(
                     "v_rows",
-                    OpKind::Reshape { dims: vec![bkv, s_q, d] },
+                    OpKind::Reshape {
+                        dims: vec![bkv, s_q, d],
+                    },
                     &[v],
                 )?;
-                let k_all = self.b.node("k_append", OpKind::KvAppend, &[k_cache, k_new])?;
-                let v_all = self.b.node("v_append", OpKind::KvAppend, &[v_cache, v_new])?;
+                let k_all = self
+                    .b
+                    .node("k_append", OpKind::KvAppend, &[k_cache, k_new])?;
+                let v_all = self
+                    .b
+                    .node("v_append", OpKind::KvAppend, &[v_cache, v_new])?;
                 (k_all, v_all)
             }
             _ => {
                 let bkv = self.batch * self.kv_heads_t();
                 let k3 = self.b.node(
                     "k_heads",
-                    OpKind::Reshape { dims: vec![bkv, s_k, d] },
+                    OpKind::Reshape {
+                        dims: vec![bkv, s_k, d],
+                    },
                     &[k],
                 )?;
                 let v3 = self.b.node(
                     "v_heads",
-                    OpKind::Reshape { dims: vec![bkv, s_k, d] },
+                    OpKind::Reshape {
+                        dims: vec![bkv, s_k, d],
+                    },
                     &[v],
                 )?;
                 (k3, v3)
@@ -242,9 +282,19 @@ impl<'a> Builder<'a> {
         };
         let k_exp = self.expand_kv("k_expand", k_ctx)?;
         let v_exp = self.expand_kv("v_expand", v_ctx)?;
-        let k_t = self.b.node("k_t", OpKind::Transpose { perm: vec![0, 2, 1] }, &[k_exp])?;
-        let scores = self.b.node("scores", OpKind::Gemm { transpose_b: false }, &[q3, k_t])?;
-        let scaled = self.b.node("scale", OpKind::Unary(UnaryKind::Scale), &[scores])?;
+        let k_t = self.b.node(
+            "k_t",
+            OpKind::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            &[k_exp],
+        )?;
+        let scores = self
+            .b
+            .node("scores", OpKind::Gemm { transpose_b: false }, &[q3, k_t])?;
+        let scaled = self
+            .b
+            .node("scale", OpKind::Unary(UnaryKind::Scale), &[scores])?;
         // Causal mask / ALiBi bias is generated on-chip (§IV-E pad
         // generation); decode steps attend to everything and skip it.
         let masked = if matches!(self.phase, Phase::Decode { .. }) {
@@ -256,13 +306,20 @@ impl<'a> Builder<'a> {
                 DType::Bf16,
                 TensorKind::Generated,
             );
-            self.b.node("mask", OpKind::Binary(BinaryKind::Add), &[scaled, mask])?
+            self.b
+                .node("mask", OpKind::Binary(BinaryKind::Add), &[scaled, mask])?
         };
         let probs = self.b.node("softmax", OpKind::Softmax, &[masked])?;
-        let ctx = self.b.node("context", OpKind::Gemm { transpose_b: false }, &[probs, v_exp])?;
+        let ctx = self.b.node(
+            "context",
+            OpKind::Gemm { transpose_b: false },
+            &[probs, v_exp],
+        )?;
         let merged = self.b.node(
             "merge_heads",
-            OpKind::Reshape { dims: vec![tokens, q_out] },
+            OpKind::Reshape {
+                dims: vec![tokens, q_out],
+            },
             &[ctx],
         )?;
         self.gemm("o_proj", merged, wo)
@@ -301,7 +358,8 @@ impl<'a> Builder<'a> {
             acc = Some(match acc {
                 None => out,
                 Some(prev) => {
-                    self.b.node("moe_combine", OpKind::Binary(BinaryKind::Add), &[prev, out])?
+                    self.b
+                        .node("moe_combine", OpKind::Binary(BinaryKind::Add), &[prev, out])?
                 }
             });
         }
@@ -322,9 +380,13 @@ impl<'a> Builder<'a> {
                 let wu = self.weight(&format!("{prefix}.w_up"), h, inter_t);
                 let wd = self.weight(&format!("{prefix}.w_down"), inter_t, h);
                 let gate = self.gemm("gate_proj", normed, wg)?;
-                let act = self.b.node("silu", OpKind::Unary(UnaryKind::Silu), &[gate])?;
+                let act = self
+                    .b
+                    .node("silu", OpKind::Unary(UnaryKind::Silu), &[gate])?;
                 let up = self.gemm("up_proj", normed, wu)?;
-                let mixed = self.b.node("gate_mul", OpKind::Binary(BinaryKind::Mul), &[act, up])?;
+                let mixed = self
+                    .b
+                    .node("gate_mul", OpKind::Binary(BinaryKind::Mul), &[act, up])?;
                 self.gemm("down_proj", mixed, wd)
             }
             Activation::Gelu => {
@@ -344,18 +406,24 @@ impl<'a> Builder<'a> {
             let normed = self.norm("input_norm", x)?;
             let attn = self.attention(layer, normed)?;
             let mlp = self.mlp(layer, normed)?;
-            let summed = self.b.node("block_sum", OpKind::Binary(BinaryKind::Add), &[attn, mlp])?;
+            let summed = self
+                .b
+                .node("block_sum", OpKind::Binary(BinaryKind::Add), &[attn, mlp])?;
             let reduced = self.allreduce("block_allreduce", summed)?;
-            self.b.node("residual", OpKind::Binary(BinaryKind::Add), &[x, reduced])
+            self.b
+                .node("residual", OpKind::Binary(BinaryKind::Add), &[x, reduced])
         } else {
             let normed = self.norm("input_norm", x)?;
             let attn = self.attention(layer, normed)?;
             let attn = self.allreduce("attn_allreduce", attn)?;
-            let x = self.b.node("attn_residual", OpKind::Binary(BinaryKind::Add), &[x, attn])?;
+            let x = self
+                .b
+                .node("attn_residual", OpKind::Binary(BinaryKind::Add), &[x, attn])?;
             let normed2 = self.norm("post_attn_norm", x)?;
             let mlp = self.mlp(layer, normed2)?;
             let mlp = self.allreduce("mlp_allreduce", mlp)?;
-            self.b.node("mlp_residual", OpKind::Binary(BinaryKind::Add), &[x, mlp])
+            self.b
+                .node("mlp_residual", OpKind::Binary(BinaryKind::Add), &[x, mlp])
         }
     }
 
@@ -363,7 +431,12 @@ impl<'a> Builder<'a> {
     /// forward weight GEMM (input and weight gradients) plus derivative
     /// elementwise work. Gradients flow from `d_out`; returns the gradient
     /// with respect to the layer input.
-    fn layer_backward(&mut self, layer: usize, x: TensorId, d_out: TensorId) -> Result<TensorId, GraphError> {
+    fn layer_backward(
+        &mut self,
+        layer: usize,
+        x: TensorId,
+        d_out: TensorId,
+    ) -> Result<TensorId, GraphError> {
         let h = self.cfg.hidden;
         let inter_t = (self.cfg.intermediate / self.tp).max(1);
         let q_out = self.heads_t() * self.head_dim();
@@ -371,35 +444,75 @@ impl<'a> Builder<'a> {
         let mut d = d_out;
         // dX through the MLP down/up/gate projections.
         let wd = self.weight(&format!("L{layer}.w_down.g"), inter_t, h);
-        let d_mid = self.b.node("d_down", OpKind::Gemm { transpose_b: true }, &[d, wd])?;
-        let x_t = self.b.node("x_t", OpKind::Transpose { perm: vec![1, 0] }, &[d_mid])?;
-        let _dw_down = self.b.node("dw_down", OpKind::Gemm { transpose_b: false }, &[x_t, d])?;
-        let d_act = self.b.node("d_silu", OpKind::Binary(BinaryKind::Mul), &[d_mid, d_mid])?;
+        let d_mid = self
+            .b
+            .node("d_down", OpKind::Gemm { transpose_b: true }, &[d, wd])?;
+        let x_t = self
+            .b
+            .node("x_t", OpKind::Transpose { perm: vec![1, 0] }, &[d_mid])?;
+        let _dw_down = self
+            .b
+            .node("dw_down", OpKind::Gemm { transpose_b: false }, &[x_t, d])?;
+        let d_act = self
+            .b
+            .node("d_silu", OpKind::Binary(BinaryKind::Mul), &[d_mid, d_mid])?;
         let wu = self.weight(&format!("L{layer}.w_up.g"), h, inter_t);
-        let d_up = self.b.node("d_up", OpKind::Gemm { transpose_b: true }, &[d_act, wu])?;
-        let up_t = self.b.node("up_t", OpKind::Transpose { perm: vec![1, 0] }, &[d_act])?;
-        let _dw_up = self.b.node("dw_up", OpKind::Gemm { transpose_b: false }, &[up_t, d_act])?;
+        let d_up = self
+            .b
+            .node("d_up", OpKind::Gemm { transpose_b: true }, &[d_act, wu])?;
+        let up_t = self
+            .b
+            .node("up_t", OpKind::Transpose { perm: vec![1, 0] }, &[d_act])?;
+        let _dw_up = self
+            .b
+            .node("dw_up", OpKind::Gemm { transpose_b: false }, &[up_t, d_act])?;
         if self.cfg.activation == Activation::SwiGlu {
             let wg = self.weight(&format!("L{layer}.w_gate.g"), h, inter_t);
-            let d_gate = self.b.node("d_gate", OpKind::Gemm { transpose_b: true }, &[d_act, wg])?;
-            d = self.b.node("d_mlp_in", OpKind::Binary(BinaryKind::Add), &[d_up, d_gate])?;
+            let d_gate = self
+                .b
+                .node("d_gate", OpKind::Gemm { transpose_b: true }, &[d_act, wg])?;
+            d = self
+                .b
+                .node("d_mlp_in", OpKind::Binary(BinaryKind::Add), &[d_up, d_gate])?;
         } else {
             d = d_up;
         }
         // Norm backward: elementwise plus a row reduction.
-        let d_norm = self.b.node("d_norm_mul", OpKind::Binary(BinaryKind::Mul), &[d, d])?;
-        let _stats = self.b.node("d_norm_red", OpKind::Reduce(ReduceKind::Sum), &[d_norm])?;
+        let d_norm = self
+            .b
+            .node("d_norm_mul", OpKind::Binary(BinaryKind::Mul), &[d, d])?;
+        let _stats = self
+            .b
+            .node("d_norm_red", OpKind::Reduce(ReduceKind::Sum), &[d_norm])?;
         // Attention backward: gradients through O, context, scores, QKV.
         let wo = self.weight(&format!("L{layer}.wo.g"), q_out, h);
-        let d_attn = self.b.node("d_o", OpKind::Gemm { transpose_b: true }, &[d, wo])?;
-        let attn_t = self.b.node("attn_t", OpKind::Transpose { perm: vec![1, 0] }, &[d_attn])?;
-        let _dw_o = self.b.node("dw_o", OpKind::Gemm { transpose_b: false }, &[attn_t, d])?;
-        let d_soft = self.b.node("d_softmax", OpKind::Binary(BinaryKind::Mul), &[d_attn, d_attn])?;
+        let d_attn = self
+            .b
+            .node("d_o", OpKind::Gemm { transpose_b: true }, &[d, wo])?;
+        let attn_t = self
+            .b
+            .node("attn_t", OpKind::Transpose { perm: vec![1, 0] }, &[d_attn])?;
+        let _dw_o = self
+            .b
+            .node("dw_o", OpKind::Gemm { transpose_b: false }, &[attn_t, d])?;
+        let d_soft = self.b.node(
+            "d_softmax",
+            OpKind::Binary(BinaryKind::Mul),
+            &[d_attn, d_attn],
+        )?;
         let wq = self.weight(&format!("L{layer}.wq.g"), h, q_out);
-        let d_q = self.b.node("d_q", OpKind::Gemm { transpose_b: true }, &[d_soft, wq])?;
-        let q_t = self.b.node("q_t", OpKind::Transpose { perm: vec![1, 0] }, &[d_soft])?;
-        let _dw_q = self.b.node("dw_q", OpKind::Gemm { transpose_b: false }, &[q_t, d_soft])?;
-        let d_in = self.b.node("d_layer_in", OpKind::Binary(BinaryKind::Add), &[d_q, x])?;
+        let d_q = self
+            .b
+            .node("d_q", OpKind::Gemm { transpose_b: true }, &[d_soft, wq])?;
+        let q_t = self
+            .b
+            .node("q_t", OpKind::Transpose { perm: vec![1, 0] }, &[d_soft])?;
+        let _dw_q = self
+            .b
+            .node("dw_q", OpKind::Gemm { transpose_b: false }, &[q_t, d_soft])?;
+        let d_in = self
+            .b
+            .node("d_layer_in", OpKind::Binary(BinaryKind::Add), &[d_q, x])?;
         let d_in = self.allreduce("bwd_allreduce", d_in)?;
         let _ = tokens;
         Ok(d_in)
@@ -428,7 +541,9 @@ impl<'a> Builder<'a> {
         let emb = self.b.node("embed", OpKind::Embedding, &[table, ids])?;
         let emb = self.b.node(
             "embed_view",
-            OpKind::Reshape { dims: vec![tokens, h] },
+            OpKind::Reshape {
+                dims: vec![tokens, h],
+            },
             &[emb],
         )?;
         let mut x = self.allreduce("embed_allreduce", emb)?;
@@ -491,7 +606,8 @@ impl<'a> Builder<'a> {
                 &[d_logits, w_head_g],
             )?;
             for l in (0..cfg.layers).rev() {
-                self.b.set_region(1 + cfg.layers as u32 + (cfg.layers - l) as u32);
+                self.b
+                    .set_region(1 + cfg.layers as u32 + (cfg.layers - l) as u32);
                 d = self.layer_backward(l, x, d)?;
             }
             out = d;
@@ -517,7 +633,14 @@ mod tests {
         // divided by tp). Attention adds the seq^2 term on top.
         let cfg = TransformerConfig::llama2_7b();
         let tokens = 4096;
-        let per_socket = flops_of(&cfg, Phase::Prefill { prompt_tokens: tokens }, 1, 8);
+        let per_socket = flops_of(
+            &cfg,
+            Phase::Prefill {
+                prompt_tokens: tokens,
+            },
+            1,
+            8,
+        );
         let expect = 2.0 * cfg.param_count() as f64 * tokens as f64 / 8.0;
         let ratio = per_socket.as_f64() / expect;
         assert!(ratio > 0.95 && ratio < 1.6, "ratio {ratio}");
@@ -535,7 +658,14 @@ mod tests {
     #[test]
     fn train_is_about_3x_prefill() {
         let cfg = TransformerConfig::llama2_7b();
-        let fwd = flops_of(&cfg, Phase::Prefill { prompt_tokens: 2048 }, 1, 8);
+        let fwd = flops_of(
+            &cfg,
+            Phase::Prefill {
+                prompt_tokens: 2048,
+            },
+            1,
+            8,
+        );
         let train = flops_of(&cfg, Phase::Train { seq: 2048 }, 1, 8);
         let ratio = train.as_f64() / fwd.as_f64();
         assert!(ratio > 2.0 && ratio < 4.0, "train/prefill ratio {ratio}");
@@ -544,8 +674,22 @@ mod tests {
     #[test]
     fn tp_divides_work() {
         let cfg = TransformerConfig::llama2_7b();
-        let tp1 = flops_of(&cfg, Phase::Prefill { prompt_tokens: 1024 }, 1, 1);
-        let tp8 = flops_of(&cfg, Phase::Prefill { prompt_tokens: 1024 }, 1, 8);
+        let tp1 = flops_of(
+            &cfg,
+            Phase::Prefill {
+                prompt_tokens: 1024,
+            },
+            1,
+            1,
+        );
+        let tp8 = flops_of(
+            &cfg,
+            Phase::Prefill {
+                prompt_tokens: 1024,
+            },
+            1,
+            8,
+        );
         let ratio = tp1.as_f64() / tp8.as_f64();
         assert!(ratio > 6.0 && ratio < 9.0, "tp split ratio {ratio}");
     }
@@ -573,7 +717,10 @@ mod tests {
     fn decode_reads_kv_cache() {
         let cfg = TransformerConfig::llama2_7b();
         let g = build(&cfg, Phase::Decode { past_tokens: 4096 }, 1, 8).unwrap();
-        assert!(g.kv_cache_bytes().as_u64() > 0, "decode graph must carry KV tensors");
+        assert!(
+            g.kv_cache_bytes().as_u64() > 0,
+            "decode graph must carry KV tensors"
+        );
     }
 
     #[test]
@@ -590,8 +737,7 @@ mod tests {
     fn layer_regions_produce_reusable_structure() {
         let cfg = TransformerConfig::llama2_7b();
         let g = build(&cfg, Phase::Decode { past_tokens: 512 }, 1, 8).unwrap();
-        let regions: std::collections::HashSet<u32> =
-            g.nodes().iter().map(|n| n.region).collect();
+        let regions: std::collections::HashSet<u32> = g.nodes().iter().map(|n| n.region).collect();
         // Embedding + 32 layers + head.
         assert_eq!(regions.len(), 34);
     }
@@ -625,14 +771,20 @@ mod tests {
     fn tp1_has_no_allreduce() {
         let cfg = TransformerConfig::llama2_7b();
         let g = build(&cfg, Phase::Decode { past_tokens: 64 }, 1, 1).unwrap();
-        assert!(!g.nodes().iter().any(|n| matches!(n.op, OpKind::AllReduce { .. })));
+        assert!(!g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, OpKind::AllReduce { .. })));
     }
 
     #[test]
     fn sparse_model_uses_sparse_gemms() {
         let cfg = TransformerConfig::sparsegpt_13b();
         let g = build(&cfg, Phase::Train { seq: 2048 }, 1, 8).unwrap();
-        assert!(g.nodes().iter().any(|n| matches!(n.op, OpKind::SparseGemm { .. })));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, OpKind::SparseGemm { .. })));
         // Sparse training is much cheaper than dense would be.
         let mut dense = cfg.clone();
         dense.weight_density = 1.0;
@@ -656,7 +808,11 @@ mod moe_tests {
         let ratio = gm.total_flops().as_f64() / gd.total_flops().as_f64();
         assert!(ratio > 1.3 && ratio < 2.2, "MoE flops ratio {ratio:.2}");
         // Gate softmax appears once per layer.
-        let gates = gm.nodes().iter().filter(|n| n.name.starts_with("moe_softmax")).count();
+        let gates = gm
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("moe_softmax"))
+            .count();
         assert_eq!(gates, moe.layers);
     }
 

@@ -61,7 +61,14 @@ impl VitConfig {
 ///
 /// Propagates [`GraphError`] from the underlying builder.
 pub fn build_vit(cfg: &VitConfig, images: usize, tp: usize) -> Result<Graph, GraphError> {
-    build(&cfg.body, Phase::Prefill { prompt_tokens: cfg.patches }, images, tp)
+    build(
+        &cfg.body,
+        Phase::Prefill {
+            prompt_tokens: cfg.patches,
+        },
+        images,
+        tp,
+    )
 }
 
 /// The two-stage LLaVA pipeline: vision encoder plus language decoder
@@ -80,7 +87,9 @@ pub fn llava_pipeline(
     let llm = TransformerConfig::llava15_7b();
     let decoder = build(
         &llm,
-        Phase::Prefill { prompt_tokens: prompt_tokens + vit.projected_tokens * images },
+        Phase::Prefill {
+            prompt_tokens: prompt_tokens + vit.projected_tokens * images,
+        },
         1,
         tp,
     )?;
@@ -119,7 +128,10 @@ mod tests {
     #[test]
     fn encoder_uses_no_rope_or_kv_cache() {
         let g = build_vit(&VitConfig::clip_vit_l14(), 1, 8).unwrap();
-        assert!(!g.nodes().iter().any(|n| matches!(n.op, sn_dataflow::OpKind::Rope)));
+        assert!(!g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, sn_dataflow::OpKind::Rope)));
         assert_eq!(g.kv_cache_bytes().as_u64(), 0);
     }
 }

@@ -28,7 +28,11 @@ impl LoopCounter {
     /// Panics on a zero maximum (a loop executes at least once).
     pub fn new(max: u64) -> Self {
         assert!(max > 0, "loop maximum must be positive");
-        LoopCounter { max, count: 0, fired: false }
+        LoopCounter {
+            max,
+            count: 0,
+            fired: false,
+        }
     }
 
     /// Registers one iteration; returns `true` exactly once, when the
@@ -71,7 +75,10 @@ pub struct OrchUnit {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OrchOutcome {
     /// All units completed; `finish_order` is by completion tick.
-    Completed { ticks: u64, finish_order: Vec<usize> },
+    Completed {
+        ticks: u64,
+        finish_order: Vec<usize>,
+    },
     /// Some units never started: their token dependences form a cycle or
     /// wait on units that can never fire.
     Deadlocked { stuck: Vec<usize> },
@@ -89,8 +96,10 @@ pub fn run_orchestration(units: &[OrchUnit]) -> OrchOutcome {
             assert!(d < n, "dependence index {d} out of range");
         }
     }
-    let mut counters: Vec<LoopCounter> =
-        units.iter().map(|u| LoopCounter::new(u.work.max(1))).collect();
+    let mut counters: Vec<LoopCounter> = units
+        .iter()
+        .map(|u| LoopCounter::new(u.work.max(1)))
+        .collect();
     let mut started = vec![false; n];
     let mut finish_order = Vec::new();
     let mut ticks = 0u64;
@@ -117,7 +126,10 @@ pub fn run_orchestration(units: &[OrchUnit]) -> OrchOutcome {
         }
         ticks += 1;
     }
-    OrchOutcome::Completed { ticks, finish_order }
+    OrchOutcome::Completed {
+        ticks,
+        finish_order,
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +138,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn unit(name: &str, work: u64, waits_on: &[usize]) -> OrchUnit {
-        OrchUnit { name: name.to_string(), work, waits_on: waits_on.to_vec() }
+        OrchUnit {
+            name: name.to_string(),
+            work,
+            waits_on: waits_on.to_vec(),
+        }
     }
 
     #[test]
@@ -149,7 +165,10 @@ mod tests {
             unit("store", 2, &[1]),
         ];
         match run_orchestration(&units) {
-            OrchOutcome::Completed { ticks, finish_order } => {
+            OrchOutcome::Completed {
+                ticks,
+                finish_order,
+            } => {
                 assert_eq!(finish_order, vec![0, 1, 2]);
                 assert_eq!(ticks, 4 + 8 + 2, "serial chain sums work");
             }
@@ -159,7 +178,11 @@ mod tests {
 
     #[test]
     fn independent_units_overlap() {
-        let units = vec![unit("a", 10, &[]), unit("b", 10, &[]), unit("join", 1, &[0, 1])];
+        let units = vec![
+            unit("a", 10, &[]),
+            unit("b", 10, &[]),
+            unit("join", 1, &[0, 1]),
+        ];
         match run_orchestration(&units) {
             OrchOutcome::Completed { ticks, .. } => {
                 assert_eq!(ticks, 11, "parallel units share ticks");
@@ -180,7 +203,10 @@ mod tests {
     #[test]
     fn self_dependence_deadlocks() {
         let units = vec![unit("a", 1, &[0])];
-        assert!(matches!(run_orchestration(&units), OrchOutcome::Deadlocked { .. }));
+        assert!(matches!(
+            run_orchestration(&units),
+            OrchOutcome::Deadlocked { .. }
+        ));
     }
 
     #[test]

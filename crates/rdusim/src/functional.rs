@@ -23,7 +23,10 @@ pub struct SystolicArray {
 
 impl SystolicArray {
     pub fn new(spec: &PcuSpec) -> Self {
-        SystolicArray { rows: spec.systolic_rows, cols: spec.systolic_cols }
+        SystolicArray {
+            rows: spec.systolic_rows,
+            cols: spec.systolic_cols,
+        }
     }
 
     /// Multiplies `a` (`m x k`, row-major) by `b` (`k x n`, row-major) by
@@ -40,10 +43,10 @@ impl SystolicArray {
         assert_eq!(b.len(), k * n, "rhs size");
         let mut out = vec![0.0f32; m * n];
         let mut cycles = (self.rows + self.cols) as u64; // fill
-        // Process output tiles; each tile accumulates over k cycles with
-        // one wavefront step per cycle (PE (i, j) sees a[i][t] and b[t][j]
-        // skewed in time; the skew only affects latency, not values, so we
-        // accumulate per step).
+                                                         // Process output tiles; each tile accumulates over k cycles with
+                                                         // one wavefront step per cycle (PE (i, j) sees a[i][t] and b[t][j]
+                                                         // skewed in time; the skew only affects latency, not values, so we
+                                                         // accumulate per step).
         for tile_m in (0..m).step_by(self.rows) {
             for tile_n in (0..n).step_by(self.cols) {
                 for t in 0..k {
@@ -84,13 +87,19 @@ impl SimdPipeline {
             stages.len(),
             spec.simd_stages
         );
-        SimdPipeline { lanes: spec.simd_lanes, stages, max_stages: spec.simd_stages }
+        SimdPipeline {
+            lanes: spec.simd_lanes,
+            stages,
+            max_stages: spec.simd_stages,
+        }
     }
 
     /// Streams `input` through the pipeline; returns `(values, cycles)`.
     pub fn run(&self, input: &[f32]) -> (Vec<f32>, Cycles) {
-        let out: Vec<f32> =
-            input.iter().map(|&v| self.stages.iter().fold(v, |acc, f| f(acc))).collect();
+        let out: Vec<f32> = input
+            .iter()
+            .map(|&v| self.stages.iter().fold(v, |acc, f| f(acc)))
+            .collect();
         let vectors = input.len().div_ceil(self.lanes) as u64;
         let fill = self.stages.len().min(self.max_stages) as u64;
         (out, Cycles::new(fill + vectors))
@@ -119,7 +128,10 @@ impl Scratchpad {
     pub fn write_striped(spec: &PmuSpec, data: &[f32], rows: usize, cols: usize) -> Self {
         assert_eq!(data.len(), rows * cols);
         let capacity_elems = (spec.scratchpad.as_u64() / 2) as usize;
-        assert!(rows * cols <= capacity_elems, "tensor exceeds PMU scratchpad");
+        assert!(
+            rows * cols <= capacity_elems,
+            "tensor exceeds PMU scratchpad"
+        );
         let nb = spec.banks;
         let mut banks = vec![Vec::new(); nb];
         // Bank-local addresses must be position-computable: element (r, c)
@@ -232,7 +244,10 @@ mod tests {
         let b = vec![1.0; k * n];
         let (_, functional) = arr.gemm(&a, &b, m, k, n);
         let predicted = model.systolic_cycles(m, n, k);
-        assert_eq!(functional, predicted, "functional and timing models must agree");
+        assert_eq!(
+            functional, predicted,
+            "functional and timing models must agree"
+        );
     }
 
     #[test]
@@ -264,7 +279,10 @@ mod tests {
         assert_eq!(row_major, data, "row-major readback");
         assert!(rm_ok, "row reads are conflict-free");
         let (transposed, tr_ok) = pad.read_transposed();
-        assert!(tr_ok, "transposed reads are conflict-free — the §IV-B property");
+        assert!(
+            tr_ok,
+            "transposed reads are conflict-free — the §IV-B property"
+        );
         for r in 0..rows {
             for c in 0..cols {
                 assert_eq!(transposed[c * rows + r], data[r * cols + c]);

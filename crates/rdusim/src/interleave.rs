@@ -105,8 +105,9 @@ mod tests {
         // S0-S3: a capacity split of a 4 MiB tensor over four PMUs.
         let g = PmuGroup::new(4, InterleaveScheme::Range { chunk: 1 << 20 });
         for addr in [0u64, (1 << 20) - 1, 1 << 20, 3 << 20, (4 << 20) - 1] {
-            let owners: Vec<usize> =
-                (0..4).filter(|&i| g.accepts(i, addr) == Some(true)).collect();
+            let owners: Vec<usize> = (0..4)
+                .filter(|&i| g.accepts(i, addr) == Some(true))
+                .collect();
             assert_eq!(owners.len(), 1, "exactly one PMU owns {addr:#x}");
         }
         assert_eq!(g.accepts(0, 4 << 20), None, "past the group is nobody's");

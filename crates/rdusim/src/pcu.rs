@@ -106,7 +106,10 @@ mod tests {
     fn tiny_gemm_wastes_array() {
         let p = pcu();
         let eff = p.systolic_efficiency(4, 4, 32);
-        assert!(eff < 0.2, "4x4 on a 16x16 array must be inefficient, got {eff}");
+        assert!(
+            eff < 0.2,
+            "4x4 on a 16x16 array must be inefficient, got {eff}"
+        );
     }
 
     #[test]

@@ -24,9 +24,16 @@ pub struct Stage {
 
 impl Stage {
     pub fn new(name: impl Into<String>, cycles_per_tile: u64, buffer_tiles: usize) -> Self {
-        assert!(cycles_per_tile >= 1, "a stage needs at least one cycle per tile");
+        assert!(
+            cycles_per_tile >= 1,
+            "a stage needs at least one cycle per tile"
+        );
         assert!(buffer_tiles >= 1, "a stage needs at least a single buffer");
-        Stage { name: name.into(), cycles_per_tile, buffer_tiles }
+        Stage {
+            name: name.into(),
+            cycles_per_tile,
+            buffer_tiles,
+        }
     }
 }
 
@@ -68,7 +75,12 @@ impl PipelineSim {
     pub fn predicted_cycles(&self, tiles: u64) -> Cycles {
         assert!(tiles >= 1);
         let fill: u64 = self.stages.iter().map(|s| s.cycles_per_tile).sum();
-        let bottleneck = self.stages.iter().map(|s| s.cycles_per_tile).max().expect("non-empty");
+        let bottleneck = self
+            .stages
+            .iter()
+            .map(|s| s.cycles_per_tile)
+            .max()
+            .expect("non-empty");
         Cycles::new(fill + (tiles - 1) * bottleneck)
     }
 
@@ -121,7 +133,11 @@ impl PipelineSim {
                 // tile at the same cycle boundary, so service back-to-back
                 // tiles take exactly `cycles_per_tile` each.
                 if in_service[i].is_none() {
-                    let input_ready = if i == 0 { fed < tiles } else { out_q[i - 1] > 0 };
+                    let input_ready = if i == 0 {
+                        fed < tiles
+                    } else {
+                        out_q[i - 1] > 0
+                    };
                     if input_ready {
                         if i == 0 {
                             fed += 1;
@@ -135,7 +151,12 @@ impl PipelineSim {
             cycle += 1;
         }
         let bottleneck = (0..n).max_by_key(|&i| busy[i]).expect("non-empty");
-        PipelineStats { total: Cycles::new(cycle), busy, blocked, bottleneck }
+        PipelineStats {
+            total: Cycles::new(cycle),
+            busy,
+            blocked,
+            bottleneck,
+        }
     }
 }
 
@@ -194,7 +215,10 @@ mod tests {
         // Fast producer into slow consumer with a shallow buffer.
         let p = PipelineSim::new(vec![Stage::new("fast", 1, 1), Stage::new("slow", 10, 1)]);
         let stats = p.run(40);
-        assert!(stats.blocked[0] > 0, "fast stage must block on the slow one");
+        assert!(
+            stats.blocked[0] > 0,
+            "fast stage must block on the slow one"
+        );
         assert_eq!(stats.bottleneck, 1);
     }
 

@@ -136,7 +136,10 @@ impl PmuModel {
             // must loop, lowering address throughput.
             Cycles::new(ops.div_ceil(stages.max(1)) as u64)
         };
-        (interval(read_stages, read_expr_ops), interval(write_stages, write_expr_ops))
+        (
+            interval(read_stages, read_expr_ops),
+            interval(write_stages, write_expr_ops),
+        )
     }
 }
 
@@ -152,7 +155,9 @@ pub struct ReorderBuffer {
 impl ReorderBuffer {
     /// Creates a buffer expecting `n` packets.
     pub fn new(n: usize) -> Self {
-        ReorderBuffer { slots: vec![None; n] }
+        ReorderBuffer {
+            slots: vec![None; n],
+        }
     }
 
     /// Accepts a packet with its sequence ID and payload.
@@ -162,8 +167,14 @@ impl ReorderBuffer {
     /// Panics if the sequence ID is out of range or already filled —
     /// both indicate a mis-programmed producer.
     pub fn accept(&mut self, seq_id: usize, payload: u64) {
-        assert!(seq_id < self.slots.len(), "sequence ID {seq_id} out of range");
-        assert!(self.slots[seq_id].is_none(), "duplicate sequence ID {seq_id}");
+        assert!(
+            seq_id < self.slots.len(),
+            "sequence ID {seq_id} out of range"
+        );
+        assert!(
+            self.slots[seq_id].is_none(),
+            "duplicate sequence ID {seq_id}"
+        );
         self.slots[seq_id] = Some(payload);
     }
 
@@ -225,7 +236,9 @@ mod tests {
         let stride = word * fixed.spec().banks as u64 * 4; // conflict stride
         let addrs: Vec<u64> = (0..16).map(|i| i * stride).collect();
         let fixed_cycles = fixed.access_cycles(&addrs);
-        let tuned = pmu(BankMapping::Programmable { shift: stride.trailing_zeros() });
+        let tuned = pmu(BankMapping::Programmable {
+            shift: stride.trailing_zeros(),
+        });
         let tuned_cycles = tuned.access_cycles(&addrs);
         assert_eq!(fixed_cycles, Cycles::new(16));
         assert_eq!(tuned_cycles, Cycles::new(1));

@@ -70,7 +70,13 @@ pub struct Flow {
 impl Flow {
     /// A unicast flow at line rate.
     pub fn unicast(src: Coord, dst: Coord, packets: usize) -> Self {
-        Flow { src, dsts: vec![dst], packets, injection_interval: 1, burst: 1 }
+        Flow {
+            src,
+            dsts: vec![dst],
+            packets,
+            injection_interval: 1,
+            burst: 1,
+        }
     }
 }
 
@@ -135,7 +141,11 @@ struct Switch {
 
 impl Switch {
     fn new() -> Self {
-        Switch { queues: Default::default(), stalls: 0, rr: 0 }
+        Switch {
+            queues: Default::default(),
+            stalls: 0,
+            rr: 0,
+        }
     }
 }
 
@@ -147,7 +157,10 @@ pub struct NetSim {
 
 impl NetSim {
     pub fn new(config: NetConfig) -> Self {
-        assert!(config.width >= 2 && config.height >= 2, "mesh must be at least 2x2");
+        assert!(
+            config.width >= 2 && config.height >= 2,
+            "mesh must be at least 2x2"
+        );
         assert!(config.queue_capacity >= 1);
         NetSim { config }
     }
@@ -197,7 +210,10 @@ impl NetSim {
                 seen[self.idx(at)] = true;
             }
         }
-        seen.iter().enumerate().filter_map(|(i, &s)| s.then_some(i)).collect()
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+            .collect()
     }
 
     /// Allocates flow IDs, returning `(admitted, deferred)` flow indices.
@@ -208,8 +224,7 @@ impl NetSim {
         match self.config.flow_mode {
             FlowIdMode::Mpls => ((0..flows.len()).collect(), Vec::new()),
             FlowIdMode::GlobalPool { pool_size } => {
-                let footprints: Vec<Vec<usize>> =
-                    flows.iter().map(|f| self.footprint(f)).collect();
+                let footprints: Vec<Vec<usize>> = flows.iter().map(|f| self.footprint(f)).collect();
                 let mut colors: Vec<Option<usize>> = vec![None; flows.len()];
                 for i in 0..flows.len() {
                     let mut used = vec![false; pool_size];
@@ -225,10 +240,8 @@ impl NetSim {
                     }
                     colors[i] = (0..pool_size).find(|&c| !used[c]);
                 }
-                let admitted =
-                    (0..flows.len()).filter(|&i| colors[i].is_some()).collect();
-                let deferred =
-                    (0..flows.len()).filter(|&i| colors[i].is_none()).collect();
+                let admitted = (0..flows.len()).filter(|&i| colors[i].is_some()).collect();
+                let deferred = (0..flows.len()).filter(|&i| colors[i].is_none()).collect();
                 (admitted, deferred)
             }
         }
@@ -244,8 +257,7 @@ impl NetSim {
         let mut tokens = vec![0usize; flows.len()];
         let mut next_burst = vec![0u64; flows.len()];
         let mut delivered = 0usize;
-        let total_packets: usize =
-            flows.iter().map(|f| f.packets * f.dsts.len()).sum();
+        let total_packets: usize = flows.iter().map(|f| f.packets * f.dsts.len()).sum();
         let mut cycle: u64 = 0;
         let mut hops: u64 = 0;
         // Generous bound: serial delivery over the mesh diameter.
@@ -420,9 +432,14 @@ impl NetSim {
             }
             hops += hp;
         }
-        let links = (2 * ((self.config.width - 1) * self.config.height
-            + self.config.height.saturating_sub(1) * self.config.width)) as f64;
-        let util = if cycles == 0 { 0.0 } else { hops as f64 / (links * cycles as f64) };
+        let links =
+            (2 * ((self.config.width - 1) * self.config.height
+                + self.config.height.saturating_sub(1) * self.config.width)) as f64;
+        let util = if cycles == 0 {
+            0.0
+        } else {
+            hops as f64 / (links * cycles as f64)
+        };
         NetStats {
             cycles,
             delivered,
@@ -440,7 +457,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn sim(mode: FlowIdMode) -> NetSim {
-        NetSim::new(NetConfig { flow_mode: mode, ..NetConfig::default() })
+        NetSim::new(NetConfig {
+            flow_mode: mode,
+            ..NetConfig::default()
+        })
     }
 
     #[test]
@@ -450,7 +470,11 @@ mod tests {
         let stats = s.run(&[f]);
         assert_eq!(stats.delivered, 10);
         // 3 hops of pipeline fill + ~1 packet/cycle + delivery.
-        assert!(stats.cycles >= 13 && stats.cycles <= 20, "cycles {}", stats.cycles);
+        assert!(
+            stats.cycles >= 13 && stats.cycles <= 20,
+            "cycles {}",
+            stats.cycles
+        );
     }
 
     #[test]
@@ -490,7 +514,10 @@ mod tests {
             .collect();
         let sn10 = sim(FlowIdMode::GlobalPool { pool_size: 3 }).run(&flows);
         let sn40l = sim(FlowIdMode::Mpls).run(&flows);
-        assert!(sn10.deferred_flows > 0, "pool of 3 cannot color 6 crossing flows");
+        assert!(
+            sn10.deferred_flows > 0,
+            "pool of 3 cannot color 6 crossing flows"
+        );
         assert_eq!(sn40l.deferred_flows, 0);
         assert!(
             sn40l.cycles < sn10.cycles,
@@ -562,7 +589,10 @@ mod tests {
             .sum();
         let total: u64 = stats.per_switch_stalls.iter().sum();
         assert!(total > 0, "merging line-rate flows must stall somewhere");
-        assert!(hot * 2 >= total, "stalls should concentrate on the merged row");
+        assert!(
+            hot * 2 >= total,
+            "stalls should concentrate on the merged row"
+        );
     }
 
     proptest! {

@@ -64,7 +64,11 @@ pub fn map_stages(tile: &TileGeometry, stages: &[StageReq]) -> Mapping {
                 let row = i / tile.cols;
                 let col = i % tile.cols;
                 // Snake order keeps consecutive indices adjacent.
-                let col = if row % 2 == 1 { tile.cols - 1 - col } else { col };
+                let col = if row % 2 == 1 {
+                    tile.cols - 1 - col
+                } else {
+                    col
+                };
                 Coord::new(col, row)
             })
             .collect();
@@ -72,7 +76,11 @@ pub fn map_stages(tile: &TileGeometry, stages: &[StageReq]) -> Mapping {
         placed.push(PlacedStage { positions, egress });
         cursor += need;
     }
-    Mapping { positions_used: placed.iter().map(|p| p.positions.len()).sum(), stages: placed, wrapped }
+    Mapping {
+        positions_used: placed.iter().map(|p| p.positions.len()).sum(),
+        stages: placed,
+        wrapped,
+    }
 }
 
 /// Derives the RDN flows of a mapped pipeline: each stage's egress
@@ -110,7 +118,11 @@ pub fn pipeline_flows(mapping: &Mapping, stages: &[StageReq], fanout: usize) -> 
 /// The simulation runs on a mesh window of the die (the simulator's cost
 /// is quadratic in area; a window bounded by the mapping's extent loses no
 /// generality for neighbor-heavy pipeline traffic).
-pub fn simulate_kernel(tile: &TileGeometry, stages: &[StageReq], fanout: usize) -> (Mapping, NetStats) {
+pub fn simulate_kernel(
+    tile: &TileGeometry,
+    stages: &[StageReq],
+    fanout: usize,
+) -> (Mapping, NetStats) {
     let mapping = map_stages(tile, stages);
     // Window: rows actually used, clamped to simulator-friendly sizes.
     let max_row = mapping
@@ -128,14 +140,22 @@ pub fn simulate_kernel(tile: &TileGeometry, stages: &[StageReq], fanout: usize) 
         .into_iter()
         .map(|f| {
             let src = clamp(f.src);
-            let mut dsts: Vec<Coord> =
-                f.dsts.into_iter().map(clamp).filter(|&d| d != src).collect();
+            let mut dsts: Vec<Coord> = f
+                .dsts
+                .into_iter()
+                .map(clamp)
+                .filter(|&d| d != src)
+                .collect();
             dsts.dedup();
             Flow { src, dsts, ..f }
         })
         .filter(|f| !f.dsts.is_empty())
         .collect();
-    let sim = NetSim::new(NetConfig { width, height, ..NetConfig::default() });
+    let sim = NetSim::new(NetConfig {
+        width,
+        height,
+        ..NetConfig::default()
+    });
     let stats = sim.run(&flows);
     (mapping, stats)
 }
@@ -152,11 +172,31 @@ mod tests {
     fn decoder_like_stages() -> Vec<StageReq> {
         // A decode layer: several small gemm gangs and elementwise stages.
         vec![
-            StageReq { pcus: 4, pmus: 3, traffic: 16 }, // norm
-            StageReq { pcus: 12, pmus: 6, traffic: 16 }, // qkv
-            StageReq { pcus: 8, pmus: 4, traffic: 16 },  // attention
-            StageReq { pcus: 12, pmus: 6, traffic: 16 }, // mlp up
-            StageReq { pcus: 12, pmus: 6, traffic: 16 }, // mlp down
+            StageReq {
+                pcus: 4,
+                pmus: 3,
+                traffic: 16,
+            }, // norm
+            StageReq {
+                pcus: 12,
+                pmus: 6,
+                traffic: 16,
+            }, // qkv
+            StageReq {
+                pcus: 8,
+                pmus: 4,
+                traffic: 16,
+            }, // attention
+            StageReq {
+                pcus: 12,
+                pmus: 6,
+                traffic: 16,
+            }, // mlp up
+            StageReq {
+                pcus: 12,
+                pmus: 6,
+                traffic: 16,
+            }, // mlp down
         ]
     }
 
@@ -186,8 +226,19 @@ mod tests {
 
     #[test]
     fn oversubscribed_tile_wraps() {
-        let small = TileGeometry { rows: 4, cols: 4, agcus: 2 };
-        let stages = vec![StageReq { pcus: 10, pmus: 0, traffic: 4 }; 3];
+        let small = TileGeometry {
+            rows: 4,
+            cols: 4,
+            agcus: 2,
+        };
+        let stages = vec![
+            StageReq {
+                pcus: 10,
+                pmus: 0,
+                traffic: 4
+            };
+            3
+        ];
         let m = map_stages(&small, &stages);
         assert!(m.wrapped, "30 units on a 16-position tile must wrap");
     }
@@ -195,8 +246,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds the tile")]
     fn giant_stage_panics() {
-        let small = TileGeometry { rows: 2, cols: 2, agcus: 1 };
-        let _ = map_stages(&small, &[StageReq { pcus: 10, pmus: 0, traffic: 1 }]);
+        let small = TileGeometry {
+            rows: 2,
+            cols: 2,
+            agcus: 1,
+        };
+        let _ = map_stages(
+            &small,
+            &[StageReq {
+                pcus: 10,
+                pmus: 0,
+                traffic: 1,
+            }],
+        );
     }
 
     #[test]
@@ -216,11 +278,11 @@ mod tests {
         let stages = decoder_like_stages();
         let (mapping, stats) = simulate_kernel(&tile(), &stages, 2);
         assert!(!mapping.wrapped);
-        let total_packets: usize = stages[..stages.len() - 1]
-            .iter()
-            .map(|s| s.traffic)
-            .sum();
-        assert!(stats.delivered >= total_packets, "all pipeline traffic delivered");
+        let total_packets: usize = stages[..stages.len() - 1].iter().map(|s| s.traffic).sum();
+        assert!(
+            stats.delivered >= total_packets,
+            "all pipeline traffic delivered"
+        );
         // Neighbor traffic on a snake placement should be nearly stall-free.
         assert!(
             stats.stall_cycles < stats.cycles * 2,

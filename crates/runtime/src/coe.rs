@@ -10,10 +10,12 @@
 
 use serde::{Deserialize, Serialize};
 use sn_arch::{Bandwidth, Bytes, NodeSpec, TimeSecs};
+use sn_faults::{FaultDecision, FaultPlan, FaultSite, Recovery, RetryPolicy};
 use sn_memsim::{AllocError, DeviceMemory, MemoryTier, Region, SegmentTable, VirtAddr};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// What a compiled model needs from the memory system (§V-B: "each
 /// compiled model binary tells us ahead of time exactly how much HBM and
@@ -92,11 +94,29 @@ pub enum CoeError {
     /// 150-expert OOM; a node holds 850+ Llama2-7B experts).
     DdrFull(AllocError),
     /// The model's HBM segments exceed the activation budget outright.
-    TooLargeForHbm { name: String, need: Bytes, budget: Bytes },
+    TooLargeForHbm {
+        name: String,
+        need: Bytes,
+        budget: Bytes,
+    },
     /// Unknown model name.
     Unknown(String),
     /// Model registered twice.
     Duplicate(String),
+    /// Building or compiling a model's dataflow graph failed while
+    /// constructing a serving node.
+    Compile { model: String, reason: String },
+    /// An expert's DDR→HBM load kept failing after exhausting the retry
+    /// budget (persistent corruption on the switch path).
+    LoadFault { name: String, attempts: u32 },
+    /// The router classification pass timed out on every attempt.
+    RouterTimeout { attempts: u32 },
+    /// The socket fabric kept dropping a prompt's execution past the
+    /// retry budget.
+    SocketDown { attempts: u32 },
+    /// Every node in a cluster was marked failed; no survivor can take
+    /// the re-routed prompts.
+    NoHealthyNodes,
 }
 
 impl fmt::Display for CoeError {
@@ -108,6 +128,19 @@ impl fmt::Display for CoeError {
             }
             CoeError::Unknown(n) => write!(f, "unknown model {n}"),
             CoeError::Duplicate(n) => write!(f, "model {n} already registered"),
+            CoeError::Compile { model, reason } => {
+                write!(f, "compiling {model} failed: {reason}")
+            }
+            CoeError::LoadFault { name, attempts } => {
+                write!(f, "loading {name} failed {attempts} times; giving up")
+            }
+            CoeError::RouterTimeout { attempts } => {
+                write!(f, "router classification timed out {attempts} times")
+            }
+            CoeError::SocketDown { attempts } => {
+                write!(f, "socket fabric dropped execution {attempts} times")
+            }
+            CoeError::NoHealthyNodes => write!(f, "no healthy nodes left in the cluster"),
         }
     }
 }
@@ -122,6 +155,8 @@ pub struct CoeStats {
     pub evictions: u64,
     pub bytes_in: Bytes,
     pub bytes_back: Bytes,
+    /// Injected expert-load failures absorbed by retries (or escalated).
+    pub load_faults: u64,
 }
 
 /// Virtual base where every model's HBM-destined segments live; compiled
@@ -148,16 +183,15 @@ pub struct CoeRuntime {
     models: HashMap<String, Registered>,
     clock: u64,
     stats: CoeStats,
+    faults: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
 }
 
 impl CoeRuntime {
     /// Builds a runtime over a node's aggregate HBM and DDR.
     pub fn new(node: &NodeSpec, config: CoeRuntimeConfig) -> Self {
-        let memory = DeviceMemory::with_capacities(
-            node.hbm_capacity(),
-            node.ddr_capacity(),
-            node.host_dram,
-        );
+        let memory =
+            DeviceMemory::with_capacities(node.hbm_capacity(), node.ddr_capacity(), node.host_dram);
         CoeRuntime {
             memory,
             switch_bandwidth: node.model_switch_bandwidth(),
@@ -165,7 +199,23 @@ impl CoeRuntime {
             models: HashMap::new(),
             clock: 0,
             stats: CoeStats::default(),
+            faults: None,
+            retry: RetryPolicy::standard(),
         }
+    }
+
+    /// Attaches a fault plan (consulted at [`FaultSite::ExpertLoad`] by
+    /// [`CoeRuntime::activate_with_recovery`]) and the retry budget for
+    /// absorbing injected load failures.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>, retry: RetryPolicy) -> Self {
+        self.faults = Some(plan);
+        self.retry = retry;
+        self
+    }
+
+    /// The retry budget applied to faulted expert loads.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// HBM available for resident models.
@@ -195,18 +245,32 @@ impl CoeRuntime {
             });
         }
         let total = binary.hbm_bytes + binary.ddr_only_bytes;
-        let ddr_block = self.memory.alloc(MemoryTier::Ddr, total).map_err(CoeError::DdrFull)?;
+        let ddr_block = self
+            .memory
+            .alloc(MemoryTier::Ddr, total)
+            .map_err(CoeError::DdrFull)?;
         // The model's working segment initially points at its DDR home.
         let mut table = SegmentTable::new();
         table
             .map(
                 MODEL_SEGMENT_BASE,
-                Region { tier: MemoryTier::Ddr, offset: ddr_block.offset, size: binary.hbm_bytes },
+                Region {
+                    tier: MemoryTier::Ddr,
+                    offset: ddr_block.offset,
+                    size: binary.hbm_bytes,
+                },
             )
             .expect("fresh table has no overlaps");
         self.models.insert(
             binary.name.clone(),
-            Registered { binary, ddr_block, hbm_block: None, table, last_use: 0, activated_at: 0 },
+            Registered {
+                binary,
+                ddr_block,
+                hbm_block: None,
+                table,
+                last_use: 0,
+                activated_at: 0,
+            },
         );
         Ok(())
     }
@@ -243,7 +307,10 @@ impl CoeRuntime {
         name: &str,
         addr: VirtAddr,
     ) -> Result<Result<sn_memsim::PhysAddr, sn_memsim::TranslateError>, CoeError> {
-        let reg = self.models.get(name).ok_or_else(|| CoeError::Unknown(name.to_string()))?;
+        let reg = self
+            .models
+            .get(name)
+            .ok_or_else(|| CoeError::Unknown(name.to_string()))?;
         Ok(reg.table.translate(addr))
     }
 
@@ -253,12 +320,12 @@ impl CoeRuntime {
             .iter()
             .filter(|(n, r)| r.hbm_block.is_some() && n.as_str() != exclude);
         match self.config.eviction {
-            EvictionPolicy::Lru => {
-                candidates.min_by_key(|(_, r)| r.last_use).map(|(n, _)| n.clone())
-            }
-            EvictionPolicy::Fifo => {
-                candidates.min_by_key(|(_, r)| r.activated_at).map(|(n, _)| n.clone())
-            }
+            EvictionPolicy::Lru => candidates
+                .min_by_key(|(_, r)| r.last_use)
+                .map(|(n, _)| n.clone()),
+            EvictionPolicy::Fifo => candidates
+                .min_by_key(|(_, r)| r.activated_at)
+                .map(|(n, _)| n.clone()),
         }
     }
 
@@ -270,7 +337,10 @@ impl CoeRuntime {
     ///
     /// [`CoeError::Unknown`] for unregistered names.
     pub fn deactivate(&mut self, name: &str) -> Result<TimeSecs, CoeError> {
-        let reg = self.models.get_mut(name).ok_or_else(|| CoeError::Unknown(name.to_string()))?;
+        let reg = self
+            .models
+            .get_mut(name)
+            .ok_or_else(|| CoeError::Unknown(name.to_string()))?;
         let Some(block) = reg.hbm_block.take() else {
             return Ok(TimeSecs::ZERO);
         };
@@ -285,7 +355,9 @@ impl CoeRuntime {
             )
             .expect("segment size matches");
         let dirty = if self.config.skip_readonly_copyback {
-            reg.binary.hbm_bytes.saturating_sub(reg.binary.read_only_bytes)
+            reg.binary
+                .hbm_bytes
+                .saturating_sub(reg.binary.read_only_bytes)
         } else {
             reg.binary.hbm_bytes
         };
@@ -322,8 +394,10 @@ impl CoeRuntime {
         self.clock += 1;
         let clock = self.clock;
         {
-            let reg =
-                self.models.get_mut(name).ok_or_else(|| CoeError::Unknown(name.to_string()))?;
+            let reg = self
+                .models
+                .get_mut(name)
+                .ok_or_else(|| CoeError::Unknown(name.to_string()))?;
             if reg.hbm_block.is_some() {
                 reg.last_use = clock;
                 self.stats.hits += 1;
@@ -343,7 +417,9 @@ impl CoeRuntime {
         let mut copied_back = Bytes::ZERO;
         // Evict until the new model fits under the activation budget.
         while self.memory.used_bytes(MemoryTier::Hbm) + need > budget {
-            let victim = self.pick_victim(name).expect("resident model exists while over budget");
+            let victim = self
+                .pick_victim(name)
+                .expect("resident model exists while over budget");
             let reg = self.models.get_mut(&victim).expect("victim is registered");
             let block = reg.hbm_block.take().expect("victim was resident");
             reg.table
@@ -357,7 +433,9 @@ impl CoeRuntime {
                 )
                 .expect("segment size matches");
             let dirty = if self.config.skip_readonly_copyback {
-                reg.binary.hbm_bytes.saturating_sub(reg.binary.read_only_bytes)
+                reg.binary
+                    .hbm_bytes
+                    .saturating_sub(reg.binary.read_only_bytes)
             } else {
                 reg.binary.hbm_bytes
             };
@@ -381,7 +459,66 @@ impl CoeRuntime {
         self.stats.bytes_in += copied_in;
         self.stats.bytes_back += copied_back;
         let switch_time = (copied_in + copied_back) / self.switch_bandwidth;
-        Ok(ActivationOutcome { hit: false, evicted, copied_in, copied_back, switch_time })
+        Ok(ActivationOutcome {
+            hit: false,
+            evicted,
+            copied_in,
+            copied_back,
+            switch_time,
+        })
+    }
+
+    /// Fault-aware activation: like [`CoeRuntime::activate`], but misses
+    /// consult the attached fault plan at [`FaultSite::ExpertLoad`] and
+    /// drive the DDR→HBM load through the runtime's [`RetryPolicy`].
+    ///
+    /// Injected load failures are retried; the wasted attempt time plus
+    /// backoff comes back in the [`Recovery`] so callers can charge it
+    /// into serving latency. Slowdown draws stretch the returned
+    /// `switch_time`. With no plan attached this is exactly `activate` —
+    /// same arithmetic, same state transitions, bit-identical outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::Unknown`] for unregistered names; [`CoeError::LoadFault`]
+    /// when the retry budget is exhausted (the model's residency is rolled
+    /// back so the cache state stays coherent).
+    pub fn activate_with_recovery(
+        &mut self,
+        name: &str,
+    ) -> Result<(ActivationOutcome, Recovery), CoeError> {
+        let Some(plan) = self.faults.clone() else {
+            return Ok((self.activate(name)?, Recovery::default()));
+        };
+        let mut outcome = self.activate(name)?;
+        if outcome.hit {
+            // No data moves on a hit: nothing for the plan to corrupt.
+            return Ok((outcome, Recovery::default()));
+        }
+        let switch_time = outcome.switch_time;
+        match self
+            .retry
+            .run(|_| match plan.decide(FaultSite::ExpertLoad) {
+                FaultDecision::Ok => Ok(1.0),
+                FaultDecision::Slow(factor) => Ok(factor),
+                FaultDecision::Fail => Err(switch_time),
+            }) {
+            Ok((factor, recovery)) => {
+                self.stats.load_faults += recovery.retries as u64;
+                outcome.switch_time = outcome.switch_time * factor;
+                Ok((outcome, recovery))
+            }
+            Err(exhausted) => {
+                self.stats.load_faults += exhausted.attempts as u64;
+                // The weights never arrived intact: roll residency back so
+                // the activation cache matches reality.
+                self.deactivate(name)?;
+                Err(CoeError::LoadFault {
+                    name: name.to_string(),
+                    attempts: exhausted.attempts,
+                })
+            }
+        }
     }
 }
 
@@ -449,7 +586,10 @@ mod tests {
     fn fifo_evicts_insertion_order() {
         let mut rt = CoeRuntime::new(
             &NodeSpec::sn40l_node(),
-            CoeRuntimeConfig { eviction: EvictionPolicy::Fifo, ..Default::default() },
+            CoeRuntimeConfig {
+                eviction: EvictionPolicy::Fifo,
+                ..Default::default()
+            },
         );
         for i in 0..37 {
             rt.register(expert(i)).unwrap();
@@ -479,7 +619,10 @@ mod tests {
     fn dirty_state_copies_back_when_elision_disabled() {
         let mut rt = CoeRuntime::new(
             &NodeSpec::sn40l_node(),
-            CoeRuntimeConfig { skip_readonly_copyback: false, ..Default::default() },
+            CoeRuntimeConfig {
+                skip_readonly_copyback: false,
+                ..Default::default()
+            },
         );
         for i in 0..37 {
             rt.register(expert(i)).unwrap();
@@ -495,14 +638,20 @@ mod tests {
     fn oversized_model_rejected_up_front() {
         let mut rt = runtime();
         let huge = ModelBinary::weights_only("huge", Bytes::from_tib(1));
-        assert!(matches!(rt.register(huge), Err(CoeError::TooLargeForHbm { .. })));
+        assert!(matches!(
+            rt.register(huge),
+            Err(CoeError::TooLargeForHbm { .. })
+        ));
     }
 
     #[test]
     fn unknown_and_duplicate_models_error() {
         let mut rt = runtime();
         rt.register(expert(0)).unwrap();
-        assert!(matches!(rt.register(expert(0)), Err(CoeError::Duplicate(_))));
+        assert!(matches!(
+            rt.register(expert(0)),
+            Err(CoeError::Duplicate(_))
+        ));
         assert!(matches!(rt.activate("nope"), Err(CoeError::Unknown(_))));
     }
 
@@ -578,8 +727,87 @@ mod tests {
         // expert0 was evicted by the 37th activation: its segment must
         // point back at DDR while expert36's points at HBM.
         let probe = MODEL_SEGMENT_BASE;
-        assert_eq!(rt.translate("expert0", probe).unwrap().unwrap().tier, MemoryTier::Ddr);
-        assert_eq!(rt.translate("expert36", probe).unwrap().unwrap().tier, MemoryTier::Hbm);
+        assert_eq!(
+            rt.translate("expert0", probe).unwrap().unwrap().tier,
+            MemoryTier::Ddr
+        );
+        assert_eq!(
+            rt.translate("expert36", probe).unwrap().unwrap().tier,
+            MemoryTier::Hbm
+        );
+    }
+
+    #[test]
+    fn recovery_activation_without_plan_matches_activate() {
+        let mut plain = runtime();
+        let mut aware = runtime();
+        plain.register(expert(0)).unwrap();
+        aware.register(expert(0)).unwrap();
+        let want = plain.activate("expert0").unwrap();
+        let (got, recovery) = aware.activate_with_recovery("expert0").unwrap();
+        assert_eq!(want, got);
+        assert_eq!(recovery, Recovery::default());
+    }
+
+    #[test]
+    fn injected_load_failures_are_retried_and_charged() {
+        use sn_faults::FaultSpec;
+        // Fail roughly a third of loads: the standard 3-retry budget
+        // absorbs them all at this rate over a handful of activations.
+        let plan =
+            Arc::new(FaultPlan::new(5).with_site(FaultSite::ExpertLoad, FaultSpec::failing(0.33)));
+        let mut rt = runtime().with_faults(plan, RetryPolicy::standard());
+        let mut recovered = TimeSecs::ZERO;
+        let mut completed = 0;
+        for i in 0..8 {
+            rt.register(expert(i)).unwrap();
+            match rt.activate_with_recovery(&format!("expert{i}")) {
+                Ok((outcome, recovery)) => {
+                    assert!(!outcome.hit);
+                    recovered += recovery.time;
+                    completed += 1;
+                }
+                Err(CoeError::LoadFault { .. }) => {} // 0.33^4 per load
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(completed >= 6, "retries absorb most faults: {completed}/8");
+        assert!(rt.stats().load_faults > 0, "a third of loads should fault");
+        assert!(recovered.as_secs() > 0.0, "retries charge recovery time");
+    }
+
+    #[test]
+    fn persistent_load_failure_rolls_residency_back() {
+        use sn_faults::FaultSpec;
+        let plan =
+            Arc::new(FaultPlan::new(5).with_site(FaultSite::ExpertLoad, FaultSpec::failing(1.0)));
+        let mut rt = runtime().with_faults(plan, RetryPolicy::standard());
+        rt.register(expert(0)).unwrap();
+        let err = rt.activate_with_recovery("expert0").unwrap_err();
+        assert!(
+            matches!(err, CoeError::LoadFault { attempts: 4, .. }),
+            "got {err}"
+        );
+        // The corrupt load must not leave the expert marked resident.
+        assert!(rt.active_models().is_empty());
+        // The expert stays registered and can be activated once the
+        // faults clear (hits on the DDR home, then a clean reload).
+        rt.reset_stats();
+    }
+
+    #[test]
+    fn hits_never_consult_the_fault_plan() {
+        use sn_faults::FaultSpec;
+        let plan =
+            Arc::new(FaultPlan::new(5).with_site(FaultSite::ExpertLoad, FaultSpec::failing(1.0)));
+        let shared = Arc::clone(&plan);
+        let mut rt = runtime().with_faults(plan, RetryPolicy::none());
+        rt.register(expert(0)).unwrap();
+        rt.activate("expert0").unwrap(); // fault-oblivious warm-up
+        let (outcome, recovery) = rt.activate_with_recovery("expert0").unwrap();
+        assert!(outcome.hit);
+        assert_eq!(recovery, Recovery::default());
+        assert_eq!(shared.stats().site(FaultSite::ExpertLoad).draws, 0);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use sn_arch::{Calibration, NodeSpec, Orchestration, TimeSecs};
 use sn_compiler::Executable;
+use sn_faults::{FaultDecision, FaultPlan, FaultSite, Recovery, RetryError, RetryPolicy};
+use std::sync::Arc;
 
 /// Timing breakdown of one execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,6 +33,18 @@ impl ExecutionReport {
             (self.launch + self.program_load).as_secs() / self.total.as_secs()
         }
     }
+
+    /// Stretches every time component by `factor` (an injected
+    /// socket-fabric slowdown); launch/program counts are unchanged.
+    fn scaled(self, factor: f64) -> ExecutionReport {
+        ExecutionReport {
+            total: self.total * factor,
+            exec: self.exec * factor,
+            launch: self.launch * factor,
+            program_load: self.program_load * factor,
+            ..self
+        }
+    }
 }
 
 /// Executes compiled programs on an RDU node.
@@ -42,11 +56,25 @@ impl ExecutionReport {
 pub struct NodeExecutor {
     node: NodeSpec,
     calib: Calibration,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl NodeExecutor {
     pub fn new(node: NodeSpec, calib: Calibration) -> Self {
-        NodeExecutor { node, calib }
+        NodeExecutor {
+            node,
+            calib,
+            faults: None,
+        }
+    }
+
+    /// Attaches a fault plan consulted at [`FaultSite::SocketLink`] by the
+    /// fault-aware run paths ([`NodeExecutor::try_run`] and
+    /// [`NodeExecutor::try_run_decode_loop`]); the plain paths stay
+    /// fault-oblivious.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     pub fn node(&self) -> &NodeSpec {
@@ -90,6 +118,61 @@ impl NodeExecutor {
             distinct_programs: one.distinct_programs,
         }
     }
+
+    /// Consults the fault plan at [`FaultSite::SocketLink`] and drives the
+    /// pass through `retry`: a `Fail` draw (dropped peer-to-peer link
+    /// mid-AllReduce) wastes the pass and is retried with backoff; a
+    /// `Slow` draw stretches the surviving pass. With no plan attached
+    /// this returns `report` untouched.
+    fn apply_faults(
+        &self,
+        report: ExecutionReport,
+        retry: RetryPolicy,
+    ) -> Result<(ExecutionReport, Recovery), RetryError> {
+        let Some(plan) = &self.faults else {
+            return Ok((report, Recovery::default()));
+        };
+        let (factor, recovery) = retry.run(|_| match plan.decide(FaultSite::SocketLink) {
+            FaultDecision::Ok => Ok(1.0),
+            FaultDecision::Slow(factor) => Ok(factor),
+            FaultDecision::Fail => Err(report.total),
+        })?;
+        Ok((report.scaled(factor), recovery))
+    }
+
+    /// Fault-aware [`NodeExecutor::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError`] when injected socket failures outlast the retry
+    /// budget; the recovery inside carries the time burned.
+    pub fn try_run(
+        &self,
+        exe: &Executable,
+        orch: Orchestration,
+        retry: RetryPolicy,
+    ) -> Result<(ExecutionReport, Recovery), RetryError> {
+        self.apply_faults(self.run(exe, orch), retry)
+    }
+
+    /// Fault-aware [`NodeExecutor::run_decode_loop`]. The whole decode
+    /// loop is one fault-plan consultation: the socket either holds for
+    /// the generation or drops it (per-step draws would make long
+    /// generations arbitrarily unlikely to finish at any nonzero rate).
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError`] when injected socket failures outlast the retry
+    /// budget.
+    pub fn try_run_decode_loop(
+        &self,
+        exe: &Executable,
+        orch: Orchestration,
+        steps: usize,
+        retry: RetryPolicy,
+    ) -> Result<(ExecutionReport, Recovery), RetryError> {
+        self.apply_faults(self.run_decode_loop(exe, orch, steps), retry)
+    }
 }
 
 #[cfg(test)]
@@ -114,8 +197,16 @@ mod tests {
         // layers" so there are virtually no program re-loads.
         let (exe, _) = exec_llama(Phase::Decode { past_tokens: 4096 }, FusionPolicy::Spatial);
         // 32 layers + embedding + head kernels.
-        assert!(exe.kernel_count() <= 40, "got {} kernels", exe.kernel_count());
-        assert!(exe.distinct_programs() <= 5, "got {}", exe.distinct_programs());
+        assert!(
+            exe.kernel_count() <= 40,
+            "got {} kernels",
+            exe.kernel_count()
+        );
+        assert!(
+            exe.distinct_programs() <= 5,
+            "got {}",
+            exe.distinct_programs()
+        );
     }
 
     #[test]
@@ -125,7 +216,9 @@ mod tests {
         let ho = node.run(&exe, Orchestration::Hardware);
         let decode_gain = so.total / ho.total;
         let (pexe, pnode) = exec_llama(
-            Phase::Prefill { prompt_tokens: 4096 },
+            Phase::Prefill {
+                prompt_tokens: 4096,
+            },
             FusionPolicy::Spatial,
         );
         let pso = pnode.run(&pexe, Orchestration::Software);
@@ -148,7 +241,9 @@ mod tests {
     #[test]
     fn prefill_latency_is_tens_of_milliseconds() {
         let (exe, node) = exec_llama(
-            Phase::Prefill { prompt_tokens: 4096 },
+            Phase::Prefill {
+                prompt_tokens: 4096,
+            },
             FusionPolicy::Spatial,
         );
         let t = node.run(&exe, Orchestration::Hardware).total.as_millis();
@@ -165,10 +260,65 @@ mod tests {
     }
 
     #[test]
+    fn try_run_without_plan_matches_run() {
+        let (exe, node) = exec_llama(Phase::Decode { past_tokens: 4096 }, FusionPolicy::Spatial);
+        let plain = node.run(&exe, Orchestration::Hardware);
+        let (aware, recovery) = node
+            .try_run(&exe, Orchestration::Hardware, RetryPolicy::standard())
+            .unwrap();
+        assert_eq!(plain, aware);
+        assert_eq!(recovery, Recovery::default());
+    }
+
+    #[test]
+    fn socket_faults_charge_recovery_or_exhaust() {
+        use sn_faults::FaultSpec;
+        let plan =
+            Arc::new(FaultPlan::new(2).with_site(FaultSite::SocketLink, FaultSpec::failing(0.5)));
+        let (exe, node) = exec_llama(Phase::Decode { past_tokens: 4096 }, FusionPolicy::Spatial);
+        let node = node.with_faults(plan);
+        let mut recovered = TimeSecs::ZERO;
+        let mut completed = 0;
+        for _ in 0..32 {
+            match node.try_run(&exe, Orchestration::Hardware, RetryPolicy::standard()) {
+                Ok((_, recovery)) => {
+                    completed += 1;
+                    recovered += recovery.time;
+                }
+                Err(err) => recovered += err.recovery.time,
+            }
+        }
+        assert!(
+            completed >= 28,
+            "3 retries absorb a 50% rate almost always: {completed}/32"
+        );
+        assert!(recovered.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn socket_slowdowns_stretch_the_report() {
+        use sn_faults::FaultSpec;
+        let plan =
+            Arc::new(FaultPlan::new(2).with_site(FaultSite::SocketLink, FaultSpec::slow(1.0, 2.0)));
+        let (exe, node) = exec_llama(Phase::Decode { past_tokens: 4096 }, FusionPolicy::Spatial);
+        let clean = node.run(&exe, Orchestration::Hardware);
+        let node = node.with_faults(plan);
+        let (slowed, recovery) = node
+            .try_run(&exe, Orchestration::Hardware, RetryPolicy::standard())
+            .unwrap();
+        assert!((slowed.total.as_secs() / clean.total.as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(slowed.launches, clean.launches);
+        assert_eq!(recovery.retries, 0, "slowdowns are not retried");
+    }
+
+    #[test]
     fn overhead_fraction_is_sane() {
         let (exe, node) = exec_llama(Phase::Decode { past_tokens: 4096 }, FusionPolicy::Unfused);
         let so = node.run(&exe, Orchestration::Software);
-        assert!(so.overhead_fraction() > 0.5, "unfused SO decode is launch-dominated");
+        assert!(
+            so.overhead_fraction() > 0.5,
+            "unfused SO decode is launch-dominated"
+        );
         let ho = node.run(&exe, Orchestration::Hardware);
         assert!(ho.overhead_fraction() < so.overhead_fraction());
     }

@@ -48,7 +48,11 @@ impl LaunchSequence {
             commands.push(Command::KernelExecute(kernel.id));
         }
         let executes = exe.kernel_count();
-        LaunchSequence { commands, program_loads, executes }
+        LaunchSequence {
+            commands,
+            program_loads,
+            executes,
+        }
     }
 
     pub fn commands(&self) -> &[Command] {
@@ -97,7 +101,10 @@ mod tests {
         let seq = LaunchSequence::from_executable(&exe);
         assert_eq!(seq.executes(), exe.kernel_count());
         assert_eq!(seq.program_loads(), exe.distinct_programs());
-        assert!(seq.program_loads() < seq.executes() / 4, "layers share programs");
+        assert!(
+            seq.program_loads() < seq.executes() / 4,
+            "layers share programs"
+        );
     }
 
     #[test]

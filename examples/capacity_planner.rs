@@ -32,7 +32,10 @@ fn main() {
     let sn_nodes = sn40l_nodes_needed(&sn, experts, expert_bytes);
     let a_nodes = dgx_nodes_needed(&a100, experts, expert_bytes);
     let h_nodes = dgx_nodes_needed(&h100, experts, expert_bytes);
-    println!("  SN40L  : {sn_nodes:>3} node(s) — experts live in {} of node DDR", sn.ddr_capacity());
+    println!(
+        "  SN40L  : {sn_nodes:>3} node(s) — experts live in {} of node DDR",
+        sn.ddr_capacity()
+    );
     println!(
         "  DGX A100: {a_nodes:>3} node(s) — experts must live in {} of HBM",
         a100.hbm_for_experts()
@@ -44,11 +47,12 @@ fn main() {
     );
 
     println!("\nsingle-node capacity limits (weights anywhere, any latency):");
-    let dgx_max =
-        ((a100.total_expert_capacity().as_f64()) / expert_bytes.as_f64()) as usize;
+    let dgx_max = ((a100.total_expert_capacity().as_f64()) / expert_bytes.as_f64()) as usize;
     let sn_max = (sn.ddr_capacity().as_f64() / expert_bytes.as_f64()) as usize;
     println!("  SN40L Node: {sn_max} experts before DDR exhausts");
-    println!("  DGX       : {dgx_max} experts before HBM+host DRAM exhaust (the paper's '>150 -> OOM')");
+    println!(
+        "  DGX       : {dgx_max} experts before HBM+host DRAM exhaust (the paper's '>150 -> OOM')"
+    );
 
     println!("\nswitching cost per expert miss:");
     println!(

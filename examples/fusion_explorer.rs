@@ -15,7 +15,11 @@ use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let graph = monarch_fig3();
-    println!("Figure 3 example: {} operators, {} total FLOPs", graph.node_count(), graph.total_flops());
+    println!(
+        "Figure 3 example: {} operators, {} total FLOPs",
+        graph.node_count(),
+        graph.total_flops()
+    );
 
     let socket = SocketSpec::sn40l();
     let a100 = GpuSpec::a100();
@@ -32,7 +36,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         ("fully spatially fused", FusionLevel::Full, 410.4),
     ] {
         let i = levels[&level];
-        let regime = if i < a100.balance() { "memory-bound on A100" } else { "compute-bound on A100" };
+        let regime = if i < a100.balance() {
+            "memory-bound on A100"
+        } else {
+            "compute-bound on A100"
+        };
         println!("{label:<24} {i:>7.1} ops/byte (paper {paper:>6.1}) — {regime}");
     }
 

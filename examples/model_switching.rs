@@ -18,18 +18,27 @@ fn run_trace(eviction: EvictionPolicy, skip_readonly: bool) -> (f64, u64, u64) {
         },
     );
     for i in 0..60 {
-        rt.register(ModelBinary::weights_only(format!("expert{i}"), Bytes::from_gb(13.48)))
-            .expect("60 experts fit node DDR");
+        rt.register(ModelBinary::weights_only(
+            format!("expert{i}"),
+            Bytes::from_gb(13.48),
+        ))
+        .expect("60 experts fit node DDR");
     }
     // Hot set of 30 with periodic cold excursions.
     let mut total = TimeSecs::ZERO;
     for round in 0..10 {
         for hot in 0..30 {
-            total += rt.activate(&format!("expert{hot}")).expect("registered").switch_time;
+            total += rt
+                .activate(&format!("expert{hot}"))
+                .expect("registered")
+                .switch_time;
         }
         for cold in 0..3 {
             let e = 30 + (round * 3 + cold) % 30;
-            total += rt.activate(&format!("expert{e}")).expect("registered").switch_time;
+            total += rt
+                .activate(&format!("expert{e}"))
+                .expect("registered")
+                .switch_time;
         }
     }
     let stats = rt.stats();

@@ -35,7 +35,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let node = NodeExecutor::new(NodeSpec::sn40l_node(), Calibration::baseline());
 
     for (label, phase) in [
-        ("prefill(4096)", Phase::Prefill { prompt_tokens: 4096 }),
+        (
+            "prefill(4096)",
+            Phase::Prefill {
+                prompt_tokens: 4096,
+            },
+        ),
         ("decode@4096", Phase::Decode { past_tokens: 4096 }),
     ] {
         println!("\n== {label} (TP8, one socket shard) ==");

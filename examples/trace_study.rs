@@ -9,13 +9,20 @@ use samba_coe::arch::prelude::*;
 use samba_coe::coe::{ExpertLibrary, SambaCoeNode, TraceConfig, TraceGenerator};
 
 fn main() {
-    let config = TraceConfig { skew: 0.9, drift_period: 256, prompt_tokens: 1024 };
+    let config = TraceConfig {
+        skew: 0.9,
+        drift_period: 256,
+        prompt_tokens: 1024,
+    };
     println!(
         "trace: Zipf skew {}, drift every {} requests, 150 experts\n",
         config.skew, config.drift_period
     );
 
-    for (label, prefetch) in [("sequential switching", false), ("prefetched switching", true)] {
+    for (label, prefetch) in [
+        ("sequential switching", false),
+        ("prefetched switching", true),
+    ] {
         let mut node =
             SambaCoeNode::new(NodeSpec::sn40l_node(), ExpertLibrary::samba_coe_150(), 1024);
         let mut trace = TraceGenerator::new(77, config);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository-wide checks: formatting, lints, tests. CI runs exactly this
+# script, so a clean local run means a clean CI run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

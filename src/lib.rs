@@ -19,6 +19,7 @@
 //! | [`models`] (`sn-models`) | Llama2/Mistral/Falcon/Bloom/LLaVA/sparseGPT/FlashFFTConv workloads |
 //! | [`baseline`] (`sn-baseline`) | DGX A100/H100 analytical executors and footprint models |
 //! | [`coe`] (`sn-coe`) | Samba-CoE: experts, router, serving, platform comparison |
+//! | [`faults`] (`sn-faults`) | Seeded fault injection, retry policies, degraded-mode serving |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use sn_baseline as baseline;
 pub use sn_coe as coe;
 pub use sn_compiler as compiler;
 pub use sn_dataflow as dataflow;
+pub use sn_faults as faults;
 pub use sn_memsim as memsim;
 pub use sn_models as models;
 pub use sn_rdusim as rdusim;

@@ -19,7 +19,11 @@ fn every_table2_benchmark_compiles_and_runs_both_policies() {
         let fused = compiler
             .compile(&graph, FusionPolicy::Spatial)
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-        assert!(fused.kernel_count() < unfused.kernel_count(), "{}", bench.name);
+        assert!(
+            fused.kernel_count() < unfused.kernel_count(),
+            "{}",
+            bench.name
+        );
         let tu = node.run(&unfused, Orchestration::Software).total;
         let tf = node.run(&fused, Orchestration::Hardware).total;
         assert!(tf.as_secs() > 0.0, "{}", bench.name);
@@ -44,10 +48,16 @@ fn abstract_claim_speedups_2x_to_13x_band() {
             / node.run(&fused, Orchestration::Software).total;
         speedups.push((bench.name.clone(), s));
     }
-    let min = speedups.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let min = speedups
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::INFINITY, f64::min);
     let max = speedups.iter().map(|(_, s)| *s).fold(0.0, f64::max);
     assert!(min >= 1.5, "minimum fusion speedup {min:.2}");
-    assert!((8.0..=30.0).contains(&max), "maximum fusion speedup {max:.2}");
+    assert!(
+        (8.0..=30.0).contains(&max),
+        "maximum fusion speedup {max:.2}"
+    );
     // The FFT conv or a decode workload should be the biggest winner.
     let (winner, _) = speedups
         .iter()
@@ -82,12 +92,25 @@ fn tp_degrees_scale_consistently() {
     let node = NodeExecutor::new(NodeSpec::sn40l_node(), Calibration::baseline());
     let mut times = Vec::new();
     for tp in [1usize, 2, 4, 8] {
-        let g = build(&cfg, Phase::Prefill { prompt_tokens: 2048 }, 1, tp).unwrap();
+        let g = build(
+            &cfg,
+            Phase::Prefill {
+                prompt_tokens: 2048,
+            },
+            1,
+            tp,
+        )
+        .unwrap();
         let exe = compiler.compile(&g, FusionPolicy::Spatial).unwrap();
         times.push(node.run(&exe, Orchestration::Hardware).total);
     }
     for w in times.windows(2) {
-        assert!(w[1] < w[0], "more sockets must not be slower: {} -> {}", w[0], w[1]);
+        assert!(
+            w[1] < w[0],
+            "more sockets must not be slower: {} -> {}",
+            w[0],
+            w[1]
+        );
     }
     // TP8 should cut prefill by >4x over TP1 (sublinear due to collectives).
     let scaling = times[0] / times[3];

@@ -31,9 +31,18 @@ fn footprint_reduction_19x() {
 #[test]
 fn switching_speedup_15x_to_31x() {
     let model = ComparisonModel::new(1024);
-    let sn = model.request_latency(Platform::Sn40l, 150, 8, 20).unwrap().switching;
-    let a = model.request_latency(Platform::DgxA100, 150, 8, 20).unwrap().switching;
-    let h = model.request_latency(Platform::DgxH100, 150, 8, 20).unwrap().switching;
+    let sn = model
+        .request_latency(Platform::Sn40l, 150, 8, 20)
+        .unwrap()
+        .switching;
+    let a = model
+        .request_latency(Platform::DgxA100, 150, 8, 20)
+        .unwrap()
+        .switching;
+    let h = model
+        .request_latency(Platform::DgxH100, 150, 8, 20)
+        .unwrap()
+        .switching;
     let va = a / sn;
     let vh = h / sn;
     assert!((26.0..=36.0).contains(&va), "vs A100: {va:.1}x (paper 31x)");
@@ -86,9 +95,15 @@ fn sn40l_headline_specs() {
     assert_eq!(socket.chip.pmus, 1040);
     assert_eq!(socket.chip.total_sram(), Bytes::from_mib(520));
     assert_eq!(socket.hbm.capacity, Bytes::from_gib(64));
-    assert_eq!(socket.ddr.capacity, Bytes::from_tib(1) + Bytes::from_gib(512));
+    assert_eq!(
+        socket.ddr.capacity,
+        Bytes::from_tib(1) + Bytes::from_gib(512)
+    );
     let node = NodeSpec::sn40l_node();
-    assert!(node.model_switch_bandwidth().as_tb_per_s() > 1.0, "over 1 TB/s DDR->HBM");
+    assert!(
+        node.model_switch_bandwidth().as_tb_per_s() > 1.0,
+        "over 1 TB/s DDR->HBM"
+    );
 }
 
 /// Helper so the footprint test reads like the paper's arithmetic.

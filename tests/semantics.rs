@@ -23,7 +23,9 @@ fn tiny_config() -> TransformerConfig {
 fn tiny_prefill_produces_finite_logits() {
     let cfg = tiny_config();
     let g = build(&cfg, Phase::Prefill { prompt_tokens: 8 }, 1, 2).unwrap();
-    let out = Interpreter::new(7).run_outputs(&g, &HashMap::new()).unwrap();
+    let out = Interpreter::new(7)
+        .run_outputs(&g, &HashMap::new())
+        .unwrap();
     assert_eq!(out.len(), 1);
     let logits = &out[0];
     // Last-token slice x vocab shard.
@@ -36,7 +38,9 @@ fn tiny_prefill_produces_finite_logits() {
 fn tiny_decode_executes_against_kv_cache() {
     let cfg = tiny_config();
     let g = build(&cfg, Phase::Decode { past_tokens: 16 }, 1, 2).unwrap();
-    let out = Interpreter::new(9).run_outputs(&g, &HashMap::new()).unwrap();
+    let out = Interpreter::new(9)
+        .run_outputs(&g, &HashMap::new())
+        .unwrap();
     assert!(out[0].values.iter().all(|v| v.is_finite()));
 }
 
@@ -55,7 +59,9 @@ fn different_token_ids_change_the_logits() {
                 values,
             },
         );
-        Interpreter::new(7).run_outputs(&g, &inputs).unwrap()[0].values.clone()
+        Interpreter::new(7).run_outputs(&g, &inputs).unwrap()[0]
+            .values
+            .clone()
     };
     let a = run_with(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
     let b = run_with(vec![9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 8.0]);
@@ -67,8 +73,12 @@ fn different_token_ids_change_the_logits() {
 fn weights_drive_the_computation() {
     let cfg = tiny_config();
     let g = build(&cfg, Phase::Prefill { prompt_tokens: 4 }, 1, 1).unwrap();
-    let a = Interpreter::new(1).run_outputs(&g, &HashMap::new()).unwrap();
-    let b = Interpreter::new(2).run_outputs(&g, &HashMap::new()).unwrap();
+    let a = Interpreter::new(1)
+        .run_outputs(&g, &HashMap::new())
+        .unwrap();
+    let b = Interpreter::new(2)
+        .run_outputs(&g, &HashMap::new())
+        .unwrap();
     assert_ne!(a, b, "different synthesized weights give different outputs");
 }
 
@@ -77,7 +87,10 @@ fn every_weight_tensor_is_read_only_eligible() {
     // The §V-B copy-back elision rests on weights being read-only: the
     // builders must never mark a weight tensor any other way.
     let cfg = tiny_config();
-    for phase in [Phase::Prefill { prompt_tokens: 8 }, Phase::Decode { past_tokens: 8 }] {
+    for phase in [
+        Phase::Prefill { prompt_tokens: 8 },
+        Phase::Decode { past_tokens: 8 },
+    ] {
         let g = build(&cfg, phase, 1, 2).unwrap();
         for t in g.tensors().iter().filter(|t| t.kind == TensorKind::Weight) {
             assert!(t.kind.is_read_only(), "{} must be read-only", t.name);

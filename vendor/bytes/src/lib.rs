@@ -1,0 +1,54 @@
+#![allow(clippy::all, clippy::pedantic)]
+//! Offline stand-in for the `bytes` crate: a minimal `Bytes` container
+//! backed by `Vec<u8>` (no zero-copy slicing; this repo only uses it as
+//! an opaque payload).
+
+/// A contiguous byte payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    pub const fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(bytes.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from(vec![1, 2, 3]).len(), 3);
+        assert_eq!(Bytes::from_static(b"ab").as_slice(), b"ab");
+    }
+}

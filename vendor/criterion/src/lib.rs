@@ -1,0 +1,128 @@
+#![allow(clippy::all, clippy::pedantic)]
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/entry-point surface the bench targets use —
+//! `criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter` — backed by a simple wall-clock
+//! timer: a short warmup, then a fixed measurement window, reporting
+//! mean ns/iteration. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub runs one pass regardless.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iterations == 0 {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iterations as f64;
+    println!("  {name}: {per_iter:.0} ns/iter ({} iters)", b.iterations);
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // Warmup: let caches and allocators settle.
+        for _ in 0..3 {
+            black_box(payload());
+        }
+        // Measure for a bounded window.
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            black_box(payload());
+            iters += 1;
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += iters;
+    }
+}
+
+/// Mirrors `criterion_group!`: defines a function running each benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.finish();
+    }
+}

@@ -1,0 +1,52 @@
+#![allow(clippy::all, clippy::pedantic)]
+//! Offline stand-in for `crossbeam`, implementing the scoped-thread API
+//! this repo uses on top of `std::thread::scope` (Rust 1.63+).
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`.
+
+    use std::any::Any;
+
+    /// Mirrors `crossbeam::thread::Scope`: spawn closures receive the
+    /// scope again so they can spawn nested work.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Mirrors `crossbeam::thread::scope`. All spawned threads are joined
+    /// before this returns; panics in children surface as `Err` in real
+    /// crossbeam, but `std::thread::scope` re-raises them, so the `Ok`
+    /// here is only reached when every child succeeded.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_slots() {
+        let mut slots = vec![0usize; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = i + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, (1..=8).collect::<Vec<_>>());
+    }
+}

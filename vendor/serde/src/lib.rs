@@ -1,0 +1,16 @@
+#![allow(clippy::all, clippy::pedantic)]
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, and this repo currently
+//! uses `Serialize`/`Deserialize` purely as marker derives documenting
+//! which types are serialization-ready. The traits here are empty markers
+//! and the derives (re-exported from the stub `serde_derive`) emit empty
+//! impls. Replace with the real crates when a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,43 @@
+#![allow(clippy::all, clippy::pedantic)]
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde
+//! derive machinery is unavailable. This repo only uses `Serialize` /
+//! `Deserialize` as marker derives (nothing actually serializes yet), so
+//! the derives expand to empty marker impls. If real serialization is
+//! needed later, swap these stubs for the genuine crates.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tok in input {
+        if let TokenTree::Ident(id) = &tok {
+            let s = id.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("derive input has no struct/enum name");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
