@@ -2,7 +2,15 @@
 //!
 //! ```text
 //! repro [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|--faults|all]
+//! repro --trace [out.json]
 //! ```
+//!
+//! `--trace` replays the Figure 12 SN40L serving point (150 experts,
+//! BS=8) with structured tracing enabled, writes a Chrome-trace JSON
+//! timeline (load it in <https://ui.perfetto.dev>), and prints the
+//! aggregated counter/histogram table. Combine with `--faults` separately
+//! to study degraded-mode behaviour; `--trace` itself runs fault-free so
+//! timelines are reproducible byte-for-byte.
 
 use sn_bench::ablations;
 use sn_bench::experiments::{self, PROMPT_TOKENS};
@@ -230,9 +238,41 @@ fn run_ablations() {
     );
 }
 
+fn run_trace(path: &str) {
+    hr("TRACE: Figure 12 SN40L serving point (150 experts, BS=8, 20 tokens)");
+    let run = sn_bench::trace::traced_fig12_run(150, 8);
+    if let Err(e) = std::fs::write(path, &run.trace_json) {
+        eprintln!("cannot write trace to {path}: {e}");
+        std::process::exit(1);
+    }
+    let report = &run.report;
+    println!(
+        "served 8 prompts: total {} (router {}, switching {}, execution {})",
+        report.total(),
+        report.router,
+        report.switching,
+        report.execution
+    );
+    let metrics = report.metrics.as_ref().expect("tracer attached");
+    println!("\n{}", metrics.render_table());
+    println!(
+        "wrote {} ({} bytes) — open in https://ui.perfetto.dev or chrome://tracing",
+        path,
+        run.trace_json.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "trace" | "--trace" => {
+            let path = args.get(1).map(String::as_str).unwrap_or("trace.json");
+            run_trace(path);
+            return;
+        }
+        _ => {}
+    }
     match what {
         "table1" => table1(),
         "table2" => table2(),
@@ -261,7 +301,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of table1|table2|fig1|fig10|\
-                 fig11|fig12|fig13|table3|ablations|extensions|--faults|all"
+                 fig11|fig12|fig13|table3|ablations|extensions|--faults|--trace [out.json]|all"
             );
             std::process::exit(2);
         }

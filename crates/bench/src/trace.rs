@@ -1,0 +1,121 @@
+//! Traced replay of the Figure 12 latency experiment (`repro --trace`).
+//!
+//! One run threads a single [`Tracer`] through every simulation layer and
+//! serializes the result as a Chrome-trace JSON timeline (loadable in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`):
+//!
+//! - **rdusim** — a decoder-like fused kernel is mapped and simulated on
+//!   the SN40L tile mesh, recording PCU/PMU occupancy and RDN congestion
+//!   (the per-kernel detail the analytic serving model abstracts away);
+//! - **memsim** — one expert-sized DDR→HBM DMA transfer, the §V-B
+//!   model-switch route;
+//! - **runtime** — kernel-launch spans from the node executor, emitted as
+//!   a side effect of serving;
+//! - **coe** — the Figure 12-style SN40L serving run itself: router span,
+//!   expert switch spans, and per-prompt execution spans.
+//!
+//! The run is deterministic: same parameters, byte-identical JSON.
+
+use crate::experiments::PROMPT_TOKENS;
+use sn_arch::{NodeSpec, RduChipSpec};
+use sn_coe::{ExpertLibrary, PromptGenerator, SambaCoeNode, ServeReport};
+use sn_memsim::{DmaEngine, Route};
+use sn_rdusim::{simulate_kernel_traced, StageReq};
+use sn_trace::Tracer;
+
+/// Output of one traced serving run.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The serve report, with the aggregated [`sn_trace::MetricsReport`]
+    /// attached in its `metrics` field.
+    pub report: ServeReport,
+    /// Chrome-trace JSON timeline covering the rdusim, memsim, runtime,
+    /// and coe tracks.
+    pub trace_json: String,
+}
+
+/// A decode layer's stage list (norm, qkv, attention, mlp up/down) —
+/// the same shape the tile-mapping tests use.
+fn decoder_stages() -> Vec<StageReq> {
+    [(4, 3), (12, 6), (8, 4), (12, 6), (12, 6)]
+        .iter()
+        .map(|&(pcus, pmus)| StageReq {
+            pcus,
+            pmus,
+            traffic: 16,
+        })
+        .collect()
+}
+
+/// Replays one Figure 12 SN40L point (`experts` experts, batch size
+/// `batch`, 20 output tokens) with tracing enabled, plus one traced
+/// kernel simulation and one traced expert-switch DMA so the timeline
+/// demonstrates every layer.
+///
+/// # Panics
+///
+/// Panics when the expert library exceeds node DDR (past the Figure 12
+/// sweep's capacity wall) — use counts from
+/// [`crate::experiments::expert_sweep`] below the SN40L OOM point.
+pub fn traced_fig12_run(experts: usize, batch: usize) -> TracedRun {
+    let tracer = Tracer::enabled();
+    let node_spec = NodeSpec::sn40l_node();
+
+    // Dataflow layer: map and simulate one fused decoder layer on the mesh.
+    simulate_kernel_traced(
+        &RduChipSpec::sn40l().tile,
+        &decoder_stages(),
+        2,
+        "decoder-layer",
+        &tracer,
+    );
+
+    // Memory layer: one expert-sized copy over the model-switch route.
+    let library = ExpertLibrary::new(experts);
+    let dma = DmaEngine::new(&node_spec.socket).with_tracer(tracer.clone());
+    dma.transfer(Route::DDR_TO_HBM, library.expert_bytes());
+
+    // Serving layer (runtime events come along for free via the shared
+    // tracer inside the node's executor and CoE runtime).
+    let mut node = SambaCoeNode::new(node_spec, library, PROMPT_TOKENS).with_tracer(tracer.clone());
+    let prompts = PromptGenerator::new(0x5eed, PROMPT_TOKENS).batch(batch);
+    let report = node.serve_batch(&prompts, 20);
+
+    TracedRun {
+        report,
+        trace_json: tracer.chrome_trace_json(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sn_trace::{Counter, Track};
+
+    #[test]
+    fn traced_run_covers_every_layer() {
+        let run = traced_fig12_run(150, 8);
+        let metrics = run.report.metrics.as_ref().expect("tracer attached");
+        assert!(metrics.counter(Counter::PcusOccupied) > 0, "rdusim events");
+        assert!(metrics.counter(Counter::DmaTransfers) > 0, "memsim events");
+        assert!(
+            metrics.counter(Counter::KernelLaunches) > 0,
+            "runtime events"
+        );
+        assert_eq!(metrics.counter(Counter::PromptsServed), 8, "coe events");
+        for track in [Track::Rdusim, Track::Memsim, Track::Runtime, Track::Coe] {
+            assert!(
+                run.trace_json.contains(track.name()),
+                "timeline misses the {} track",
+                track.name()
+            );
+        }
+    }
+
+    #[test]
+    fn traced_run_is_deterministic() {
+        let a = traced_fig12_run(150, 8);
+        let b = traced_fig12_run(150, 8);
+        assert_eq!(a.trace_json, b.trace_json, "byte-identical timelines");
+    }
+}

@@ -15,6 +15,7 @@ use sn_faults::{FaultDecision, FaultPlan, FaultSite, RetryPolicy};
 use sn_models::{build, Phase};
 use sn_runtime::coe::{CoeError, CoeRuntime, CoeRuntimeConfig, ModelBinary};
 use sn_runtime::executor::NodeExecutor;
+use sn_trace::{ArgValue, Counter, MetricsReport, Tracer, Track};
 use std::sync::Arc;
 
 /// Result of one batch served by the cluster.
@@ -42,6 +43,9 @@ pub struct ClusterReport {
     /// Prompts no survivor could serve (DDR exhausted or persistent load
     /// faults) — the availability loss of the batch.
     pub dropped_prompts: usize,
+    /// Aggregated trace metrics, present when a [`Tracer`] was attached
+    /// via [`CoeCluster::with_tracer`]; `None` on untraced runs.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl ClusterReport {
@@ -101,6 +105,7 @@ pub struct CoeCluster {
     failed: Vec<bool>,
     faults: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
+    tracer: Tracer,
 }
 
 impl CoeCluster {
@@ -165,6 +170,7 @@ impl CoeCluster {
             failed: vec![false; nodes],
             faults: None,
             retry: RetryPolicy::standard(),
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -180,6 +186,24 @@ impl CoeCluster {
             .collect();
         self.faults = Some(plan);
         self.retry = retry;
+        self
+    }
+
+    /// Attaches a [`Tracer`] shared by every node's [`CoeRuntime`] (expert
+    /// hit/switch events) and the [`NodeExecutor`] (kernel-launch spans).
+    /// Batches then emit one concurrent span per busy node on
+    /// [`Track::Cluster`] (tid = node index) and every [`ClusterReport`]
+    /// carries an aggregated [`MetricsReport`]. Timing arithmetic is
+    /// unchanged: traces are recorded after the fact.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.runtimes = self
+            .runtimes
+            .into_iter()
+            .map(|rt| rt.with_tracer(tracer.clone()))
+            .collect();
+        self.executor = self.executor.with_tracer(tracer.clone());
+        self.tracer = tracer;
         self
     }
 
@@ -252,6 +276,44 @@ impl CoeCluster {
         prefill + decode
     }
 
+    /// Records the cluster-level view of a batch: one span per busy node
+    /// on [`Track::Cluster`] (tid = node index), all starting at the track
+    /// cursor since nodes run concurrently, with the cursor advanced past
+    /// the busiest node. Runs after the timing arithmetic so traced and
+    /// untraced results stay identical.
+    fn trace_cluster_batch(
+        &self,
+        label: &str,
+        prompts: usize,
+        per_node: &[TimeSecs],
+        per_node_prompts: &[usize],
+        latency: TimeSecs,
+    ) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let served: usize = per_node_prompts.iter().sum();
+        self.tracer.count(Counter::RouterDecisions, prompts as u64);
+        self.tracer.count(Counter::PromptsServed, served as u64);
+        let start_us = self.tracer.cursor_us(Track::Cluster);
+        let start = TimeSecs::from_micros(start_us);
+        for (i, (&busy, &n)) in per_node.iter().zip(per_node_prompts).enumerate() {
+            if n == 0 {
+                continue;
+            }
+            self.tracer.span_at(
+                Track::Cluster,
+                i as u32,
+                format!("node{i}:{label}"),
+                start,
+                busy,
+                &[("prompts", ArgValue::from(n))],
+            );
+        }
+        self.tracer
+            .advance_cursor_us(Track::Cluster, start_us + latency.as_micros());
+    }
+
     /// Serves a batch: the router runs once (replicated on every node);
     /// prompts then fan out to their experts' home nodes, which execute
     /// concurrently.
@@ -290,6 +352,13 @@ impl CoeCluster {
             })
             .collect();
         let latency = per_node.iter().copied().fold(TimeSecs::ZERO, TimeSecs::max);
+        self.trace_cluster_batch(
+            "batch",
+            prompts.len(),
+            &per_node,
+            &per_node_prompts,
+            latency,
+        );
         ClusterReport {
             latency,
             per_node,
@@ -300,6 +369,7 @@ impl CoeCluster {
             failover_penalty: TimeSecs::ZERO,
             recovery: TimeSecs::ZERO,
             dropped_prompts: 0,
+            metrics: self.tracer.metrics_opt(),
         }
     }
 
@@ -446,6 +516,21 @@ impl CoeCluster {
             })
             .collect();
         let latency = per_node.iter().copied().fold(TimeSecs::ZERO, TimeSecs::max);
+        if self.tracer.is_enabled() {
+            self.tracer.count(Counter::ExpertsRehomed, rehomed as u64);
+            self.tracer.count(Counter::PromptsDropped, dropped as u64);
+            for i in self.failed_nodes() {
+                self.tracer
+                    .instant(Track::Cluster, format!("node{i}:down"), &[]);
+            }
+        }
+        self.trace_cluster_batch(
+            "degraded",
+            prompts.len(),
+            &per_node,
+            &per_node_prompts,
+            latency,
+        );
         Ok(ClusterReport {
             latency,
             per_node,
@@ -456,6 +541,7 @@ impl CoeCluster {
             failover_penalty: per_node_penalty.iter().copied().sum(),
             recovery: per_node_recovery.iter().copied().sum(),
             dropped_prompts: dropped,
+            metrics: self.tracer.metrics_opt(),
         })
     }
 
@@ -693,6 +779,7 @@ mod tests {
             failover_penalty: TimeSecs::ZERO,
             recovery: TimeSecs::ZERO,
             dropped_prompts: 0,
+            metrics: None,
         };
         // Mean over the two working nodes only: 25 ms -> 30/25 = 1.2.
         assert!((report.imbalance() - 1.2).abs() < 1e-12);
@@ -707,9 +794,55 @@ mod tests {
             failover_penalty: TimeSecs::ZERO,
             recovery: TimeSecs::ZERO,
             dropped_prompts: 4,
+            metrics: None,
         };
         assert_eq!(empty.imbalance(), 1.0);
         assert_eq!(empty.availability(), 0.0);
+    }
+
+    #[test]
+    fn traced_cluster_matches_untraced_and_spans_run_concurrently() {
+        let mut plain =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512).unwrap();
+        let mut traced = CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512)
+            .unwrap()
+            .with_tracer(Tracer::enabled());
+        let batch = PromptGenerator::new(31, 512).batch(12);
+        let want = plain.serve_batch(&batch, 10);
+        let got = traced.serve_batch(&batch, 10);
+        assert_eq!(want.latency, got.latency, "tracing must not perturb timing");
+        assert_eq!(want.per_node, got.per_node);
+        assert!(want.metrics.is_none());
+        let metrics = got.metrics.as_ref().expect("tracer attached");
+        assert_eq!(metrics.counter(Counter::PromptsServed), 12);
+        assert_eq!(metrics.counter(Counter::RouterDecisions), 12);
+        // One span per busy node on the cluster track, all starting at the
+        // same instant (nodes run concurrently), tid = node index.
+        let busy = want.prompts_per_node.iter().filter(|&&n| n > 0).count();
+        let node_spans: Vec<_> = traced
+            .tracer
+            .events()
+            .into_iter()
+            .filter(|e| e.track == Track::Cluster)
+            .collect();
+        assert_eq!(node_spans.len(), busy);
+        assert!(node_spans.iter().all(|e| e.ts_us == node_spans[0].ts_us));
+    }
+
+    #[test]
+    fn traced_failover_counts_rehomed_experts() {
+        let mut cluster = CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512)
+            .unwrap()
+            .with_tracer(Tracer::enabled());
+        let batch = PromptGenerator::new(31, 512).batch(24);
+        cluster.fail_node(1);
+        let degraded = cluster.try_serve_batch(&batch, 10).unwrap();
+        let metrics = degraded.metrics.as_ref().expect("tracer attached");
+        assert_eq!(
+            metrics.counter(Counter::ExpertsRehomed),
+            degraded.rehomed_experts as u64
+        );
+        assert_eq!(metrics.counter(Counter::PromptsDropped), 0);
     }
 
     #[test]

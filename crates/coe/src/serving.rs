@@ -16,6 +16,7 @@ use sn_faults::{FaultDecision, FaultPlan, FaultSite, Recovery, RetryPolicy};
 use sn_models::{build, Phase};
 use sn_runtime::coe::{CoeError, CoeRuntime, CoeRuntimeConfig, ModelBinary};
 use sn_runtime::executor::NodeExecutor;
+use sn_trace::{ArgValue, Counter, Metric, MetricsReport, Tracer, Track};
 use std::sync::Arc;
 
 /// Latency breakdown of one served batch.
@@ -38,6 +39,9 @@ pub struct ServeReport {
     pub expert_misses: usize,
     /// Expert index serving each prompt.
     pub assignments: Vec<usize>,
+    /// Aggregated trace metrics, present when a [`Tracer`] was attached
+    /// via [`SambaCoeNode::with_tracer`]; `None` on untraced runs.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl ServeReport {
@@ -70,6 +74,7 @@ pub struct SambaCoeNode {
     calib: Calibration,
     faults: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
+    tracer: Tracer,
 }
 
 impl SambaCoeNode {
@@ -131,6 +136,7 @@ impl SambaCoeNode {
             calib,
             faults: None,
             retry: RetryPolicy::standard(),
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -153,6 +159,19 @@ impl SambaCoeNode {
         self.executor = self.executor.with_faults(Arc::clone(&plan));
         self.faults = Some(plan);
         self.retry = retry;
+        self
+    }
+
+    /// Attaches a [`Tracer`], shared with the node's [`CoeRuntime`] (expert
+    /// hit/switch events) and [`NodeExecutor`] (kernel-launch spans). Serve
+    /// paths then record router decisions, per-prompt request latency, and
+    /// attach an aggregated [`MetricsReport`] to every [`ServeReport`].
+    /// Timing arithmetic is unchanged: traces are recorded after the fact.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.runtime = self.runtime.with_tracer(tracer.clone());
+        self.executor = self.executor.with_tracer(tracer.clone());
+        self.tracer = tracer;
         self
     }
 
@@ -182,6 +201,44 @@ impl SambaCoeNode {
         let prefill = self.executor.run(&self.prefill_exe, self.orch).total;
         let step = self.executor.run(&self.decode_exe, self.orch).total;
         prefill + step * self.calib.router_equiv_decode_steps
+    }
+
+    /// Records the serving-level view of a batch on [`Track::Coe`]: one
+    /// router span, one execution span per prompt, and a request-latency
+    /// observation per prompt (its model run plus an even share of the
+    /// batch-level router, switching, and recovery time). Runs after the
+    /// timing arithmetic so traced and untraced results stay identical.
+    fn trace_batch(
+        &self,
+        label: &str,
+        assignments: &[usize],
+        router: TimeSecs,
+        switching: TimeSecs,
+        run: TimeSecs,
+        recovery: TimeSecs,
+    ) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let n = assignments.len();
+        self.tracer.count(Counter::RouterDecisions, n as u64);
+        self.tracer.count(Counter::PromptsServed, n as u64);
+        self.tracer.span(
+            Track::Coe,
+            format!("router:{label}"),
+            router,
+            &[("prompts", ArgValue::from(n))],
+        );
+        let shared = (router + switching + recovery) * (1.0 / n as f64);
+        for (i, &e) in assignments.iter().enumerate() {
+            self.tracer.observe(Metric::Request, run + shared);
+            self.tracer.span(
+                Track::Coe,
+                format!("prompt{i}:expert{e}"),
+                run,
+                &[("expert", ArgValue::from(e))],
+            );
+        }
     }
 
     /// Serves a batch with *expert prefetching*: while prompt `i` executes,
@@ -227,6 +284,14 @@ impl SambaCoeNode {
             overlap_budget = run;
         }
         let execution = run * prompts.len() as f64;
+        self.trace_batch(
+            "prefetched",
+            &assignments,
+            router,
+            exposed_switching,
+            run,
+            TimeSecs::ZERO,
+        );
         ServeReport {
             router,
             switching: exposed_switching,
@@ -236,6 +301,7 @@ impl SambaCoeNode {
             expert_hits: hits,
             expert_misses: misses,
             assignments,
+            metrics: self.tracer.metrics_opt(),
         }
     }
 
@@ -264,7 +330,16 @@ impl SambaCoeNode {
             switching += outcome.switch_time;
         }
         // Each (prompt, expert) pair runs sequentially.
-        let execution = self.model_run_time(output_tokens) * prompts.len() as f64;
+        let run = self.model_run_time(output_tokens);
+        let execution = run * prompts.len() as f64;
+        self.trace_batch(
+            "batch",
+            &assignments,
+            router,
+            switching,
+            run,
+            TimeSecs::ZERO,
+        );
         ServeReport {
             router,
             switching,
@@ -274,6 +349,7 @@ impl SambaCoeNode {
             expert_hits: hits,
             expert_misses: misses,
             assignments,
+            metrics: self.tracer.metrics_opt(),
         }
     }
 
@@ -322,6 +398,18 @@ impl SambaCoeNode {
             .map_err(|e| CoeError::RouterTimeout {
                 attempts: e.attempts,
             })?;
+        if router_rec.retries > 0 && self.tracer.is_enabled() {
+            self.tracer
+                .count(Counter::RetriesAbsorbed, u64::from(router_rec.retries));
+            self.tracer.instant(
+                Track::Coe,
+                "router-retry",
+                &[
+                    ("retries", ArgValue::from(u64::from(router_rec.retries))),
+                    ("recovery_us", ArgValue::from(router_rec.time.as_micros())),
+                ],
+            );
+        }
         recovery.merge(router_rec);
         let router = router_once * router_factor;
 
@@ -363,9 +451,29 @@ impl SambaCoeNode {
                     attempts: e.attempts,
                 })?;
             factor_sum += factor;
+            if exec_rec.retries > 0 && self.tracer.is_enabled() {
+                self.tracer
+                    .count(Counter::RetriesAbsorbed, u64::from(exec_rec.retries));
+                self.tracer.instant(
+                    Track::Coe,
+                    "socket-retry",
+                    &[
+                        ("retries", ArgValue::from(u64::from(exec_rec.retries))),
+                        ("recovery_us", ArgValue::from(exec_rec.time.as_micros())),
+                    ],
+                );
+            }
             recovery.merge(exec_rec);
         }
         let execution = run * factor_sum;
+        self.trace_batch(
+            "fault-aware",
+            &assignments,
+            router,
+            switching,
+            run,
+            recovery.time,
+        );
         Ok(ServeReport {
             router,
             switching,
@@ -375,6 +483,7 @@ impl SambaCoeNode {
             expert_hits: hits,
             expert_misses: misses,
             assignments,
+            metrics: self.tracer.metrics_opt(),
         })
     }
 }
@@ -531,6 +640,57 @@ mod tests {
         assert_eq!(
             report.assignments, baseline.assignments,
             "routing is unperturbed"
+        );
+    }
+
+    #[test]
+    fn traced_serving_matches_untraced_and_records_metrics() {
+        let mut plain = coe(150);
+        let mut traced = coe(150).with_tracer(Tracer::enabled());
+        let batch = PromptGenerator::new(7, 1024).batch(6);
+        let want = plain.serve_batch(&batch, 20);
+        let got = traced.serve_batch(&batch, 20);
+        assert_eq!(want.total(), got.total(), "tracing must not perturb timing");
+        assert_eq!(want.assignments, got.assignments);
+        assert!(want.metrics.is_none(), "untraced runs attach no metrics");
+        let metrics = got.metrics.expect("tracer attached");
+        assert_eq!(metrics.counter(Counter::PromptsServed), 6);
+        assert_eq!(metrics.counter(Counter::RouterDecisions), 6);
+        assert_eq!(
+            metrics.counter(Counter::ExpertHits) + metrics.counter(Counter::ExpertMisses),
+            (want.expert_hits + want.expert_misses) as u64,
+            "runtime cache events flow through the shared tracer"
+        );
+        assert!(
+            metrics.counter(Counter::KernelLaunches) > 0,
+            "executor shares the tracer"
+        );
+        assert!(
+            metrics.histogram(Metric::Request).is_some(),
+            "per-request latency histogram recorded"
+        );
+    }
+
+    #[test]
+    fn traced_fault_recovery_counts_absorbed_retries() {
+        use sn_faults::FaultSpec;
+        let plan = Arc::new(
+            FaultPlan::new(13)
+                .with_site(FaultSite::ExpertLoad, FaultSpec::failing(0.2))
+                .with_site(FaultSite::SocketLink, FaultSpec::failing(0.2))
+                .with_site(FaultSite::RouterDecision, FaultSpec::failing(0.2)),
+        );
+        let mut node = coe(150)
+            .with_faults(plan, RetryPolicy::standard())
+            .with_tracer(Tracer::enabled());
+        let batch = PromptGenerator::new(7, 1024).batch(8);
+        let report = node.try_serve_batch(&batch, 20).expect("retries absorb");
+        assert!(report.retries > 0);
+        let metrics = report.metrics.expect("tracer attached");
+        assert_eq!(
+            metrics.counter(Counter::RetriesAbsorbed),
+            u64::from(report.retries),
+            "router + load + socket retries are each counted exactly once"
         );
     }
 

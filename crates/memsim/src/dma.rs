@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sn_arch::{Bandwidth, Bytes, SocketSpec, TimeSecs};
 use sn_faults::{FaultDecision, FaultPlan, FaultSite};
+use sn_trace::{ArgValue, Counter, Metric, Tracer, Track};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -110,6 +111,7 @@ pub struct DmaEngine {
     routes: HashMap<Route, Bandwidth>,
     ledger: TrafficLedger,
     faults: Option<Arc<FaultPlan>>,
+    tracer: Tracer,
 }
 
 impl DmaEngine {
@@ -134,7 +136,18 @@ impl DmaEngine {
             routes,
             ledger: TrafficLedger::new(),
             faults: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: every transfer then emits a span on the memsim
+    /// track, bumps the per-route byte counters, and records its latency in
+    /// the [`Metric::DmaTransfer`] histogram. Transfer *timing* is
+    /// unaffected — with the default disabled tracer this engine behaves
+    /// exactly as before.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Attaches a fault plan consulted by [`DmaEngine::try_transfer`].
@@ -172,11 +185,42 @@ impl DmaEngine {
     /// time taken.
     pub fn transfer(&self, route: Route, bytes: Bytes) -> TimeSecs {
         self.ledger.record(route, bytes);
-        if bytes == Bytes::ZERO {
+        let t = if bytes == Bytes::ZERO {
             TimeSecs::ZERO
         } else {
             bytes / self.bandwidth(route)
+        };
+        self.trace_transfer(route, bytes, t, 1);
+        t
+    }
+
+    /// Records one completed transfer into the attached tracer (no-op when
+    /// tracing is disabled).
+    fn trace_transfer(&self, route: Route, bytes: Bytes, time: TimeSecs, streams: usize) {
+        if !self.tracer.is_enabled() {
+            return;
         }
+        self.tracer.count(Counter::DmaTransfers, streams as u64);
+        let byte_counter = match (route.from, route.to) {
+            (MemoryTier::Ddr, MemoryTier::Hbm) => Counter::DmaBytesDdrToHbm,
+            (MemoryTier::Hbm, MemoryTier::Ddr) => Counter::DmaBytesHbmToDdr,
+            _ => Counter::DmaBytesHost,
+        };
+        self.tracer.count(byte_counter, bytes.as_u64());
+        self.tracer.observe(Metric::DmaTransfer, time);
+        self.tracer.span(
+            Track::Memsim,
+            format!("dma:{:?}->{:?}", route.from, route.to),
+            time,
+            &[
+                ("bytes", ArgValue::from(bytes.as_u64())),
+                ("streams", ArgValue::from(streams)),
+                (
+                    "bandwidth_gbps",
+                    ArgValue::from(self.bandwidth(route).as_gb_per_s()),
+                ),
+            ],
+        );
     }
 
     /// Fault-aware transfer: consults the attached [`FaultPlan`] at the
@@ -204,6 +248,17 @@ impl DmaEngine {
                 } else {
                     bytes / self.bandwidth(route)
                 };
+                if self.tracer.is_enabled() {
+                    self.tracer.count(Counter::DmaFaultsInjected, 1);
+                    self.tracer.instant(
+                        Track::Memsim,
+                        format!("dma-fault:{:?}->{:?}", route.from, route.to),
+                        &[
+                            ("bytes", ArgValue::from(bytes.as_u64())),
+                            ("wasted_us", ArgValue::from(wasted.as_micros())),
+                        ],
+                    );
+                }
                 Err(DmaFault {
                     route,
                     bytes,
@@ -218,11 +273,13 @@ impl DmaEngine {
     pub fn transfer_shared(&self, route: Route, bytes_each: Bytes, streams: usize) -> TimeSecs {
         assert!(streams > 0, "at least one stream");
         self.ledger.record(route, bytes_each * streams as u64);
-        if bytes_each == Bytes::ZERO {
+        let t = if bytes_each == Bytes::ZERO {
             TimeSecs::ZERO
         } else {
             (bytes_each * streams as u64) / self.bandwidth(route)
-        }
+        };
+        self.trace_transfer(route, bytes_each * streams as u64, t, streams);
+        t
     }
 }
 
@@ -323,6 +380,45 @@ mod tests {
             .try_transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0))
             .unwrap();
         assert!((slowed.as_secs() / clean.as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_transfers_record_counters_and_spans() {
+        let t = Tracer::enabled();
+        let e = engine().with_tracer(t.clone());
+        e.transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
+        e.transfer(
+            Route::new(MemoryTier::Hbm, MemoryTier::Ddr),
+            Bytes::from_gb(0.5),
+        );
+        e.transfer_shared(Route::HOST_TO_HBM, Bytes::from_gb(0.25), 2);
+        let m = t.metrics();
+        assert_eq!(m.counter(Counter::DmaTransfers), 4);
+        assert_eq!(m.counter(Counter::DmaBytesDdrToHbm), 1_000_000_000);
+        assert_eq!(m.counter(Counter::DmaBytesHbmToDdr), 500_000_000);
+        assert_eq!(m.counter(Counter::DmaBytesHost), 500_000_000);
+        assert_eq!(m.histogram(Metric::DmaTransfer).unwrap().count(), 3);
+        assert_eq!(t.event_count(), 3);
+    }
+
+    #[test]
+    fn traced_timing_matches_untraced() {
+        let plain = engine().transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
+        let traced = engine()
+            .with_tracer(Tracer::enabled())
+            .transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn injected_faults_are_traced() {
+        use sn_faults::{FaultPlan, FaultSite, FaultSpec};
+        let t = Tracer::enabled();
+        let plan =
+            Arc::new(FaultPlan::new(11).with_site(FaultSite::DmaTransfer, FaultSpec::failing(1.0)));
+        let e = engine().with_faults(plan).with_tracer(t.clone());
+        let _ = e.try_transfer(Route::DDR_TO_HBM, Bytes::from_gb(1.0));
+        assert_eq!(t.counter(Counter::DmaFaultsInjected), 1);
     }
 
     #[test]

@@ -39,4 +39,6 @@ pub use pcu::PcuModel;
 pub use pipeline::{PipelineSim, Stage};
 pub use pmu::PmuModel;
 pub use rdn::{Flow, FlowIdMode, NetSim, NetStats};
-pub use tile::{map_stages, pipeline_flows, simulate_kernel, Mapping, StageReq};
+pub use tile::{
+    map_stages, pipeline_flows, simulate_kernel, simulate_kernel_traced, Mapping, StageReq,
+};

@@ -158,6 +158,53 @@ impl PipelineSim {
             bottleneck,
         }
     }
+
+    /// [`PipelineSim::run`] plus trace recording: emits one
+    /// `pipeline:<name>` span (1 cycle = 1 ns) on the rdusim track with the
+    /// bottleneck stage in its args, one instant per stage carrying its
+    /// busy/blocked split, and adds the summed back-pressure cycles to
+    /// [`Counter::PipelineBlockedCycles`]. Stats are bit-identical to the
+    /// untraced call.
+    ///
+    /// [`Counter::PipelineBlockedCycles`]: sn_trace::Counter::PipelineBlockedCycles
+    pub fn run_traced(&self, tiles: u64, name: &str, tracer: &sn_trace::Tracer) -> PipelineStats {
+        let stats = self.run(tiles);
+        if tracer.is_enabled() {
+            use sn_trace::{ArgValue, Counter, Track};
+            tracer.count(
+                Counter::PipelineBlockedCycles,
+                stats.blocked.iter().sum::<u64>(),
+            );
+            for (i, s) in self.stages.iter().enumerate() {
+                tracer.instant(
+                    Track::Rdusim,
+                    format!("stage:{name}:{}", s.name),
+                    &[
+                        ("busy_cycles", ArgValue::from(stats.busy[i])),
+                        ("blocked_cycles", ArgValue::from(stats.blocked[i])),
+                        ("buffer_tiles", ArgValue::from(s.buffer_tiles)),
+                    ],
+                );
+            }
+            tracer.span(
+                Track::Rdusim,
+                format!("pipeline:{name}"),
+                sn_arch::TimeSecs::from_nanos(stats.total.as_u64() as f64),
+                &[
+                    ("tiles", ArgValue::from(tiles)),
+                    (
+                        "bottleneck_stage",
+                        ArgValue::Str(self.stages[stats.bottleneck].name.clone()),
+                    ),
+                    (
+                        "blocked_cycles",
+                        ArgValue::from(stats.blocked.iter().sum::<u64>()),
+                    ),
+                ],
+            );
+        }
+        stats
+    }
 }
 
 #[cfg(test)]

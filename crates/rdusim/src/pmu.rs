@@ -63,6 +63,25 @@ impl PmuModel {
         Cycles::new(counts.into_iter().max().unwrap_or(0))
     }
 
+    /// [`PmuModel::access_cycles`] plus counter recording: adds the access
+    /// cycles to [`Counter::PmuAccessCycles`] and the excess over the
+    /// one-cycle conflict-free ideal to [`Counter::PmuBankConflictCycles`].
+    /// Timing is identical to the untraced call.
+    ///
+    /// [`Counter::PmuAccessCycles`]: sn_trace::Counter::PmuAccessCycles
+    /// [`Counter::PmuBankConflictCycles`]: sn_trace::Counter::PmuBankConflictCycles
+    pub fn access_cycles_traced(&self, addrs: &[u64], tracer: &sn_trace::Tracer) -> Cycles {
+        let cycles = self.access_cycles(addrs);
+        if tracer.is_enabled() && !addrs.is_empty() {
+            tracer.count(sn_trace::Counter::PmuAccessCycles, cycles.as_u64());
+            tracer.count(
+                sn_trace::Counter::PmuBankConflictCycles,
+                cycles.as_u64().saturating_sub(1),
+            );
+        }
+        cycles
+    }
+
     /// Cycles to stream `bytes` sequentially through the scratchpad at the
     /// vector width (the conflict-free ideal).
     pub fn stream_cycles(&self, bytes: Bytes) -> Cycles {

@@ -449,6 +449,40 @@ impl NetSim {
             deferred_flows: deferred.len(),
         }
     }
+
+    /// [`NetSim::run`] plus trace recording: emits one `rdn:<name>` span on
+    /// the rdusim track (1 cycle = 1 ns) and accumulates the RDN counters
+    /// ([`Counter::RdnCycles`], [`Counter::RdnStallCycles`],
+    /// [`Counter::RdnPacketsDelivered`], [`Counter::RdnDeferredFlows`]).
+    /// The returned stats are bit-identical to the untraced call.
+    ///
+    /// [`Counter::RdnCycles`]: sn_trace::Counter::RdnCycles
+    /// [`Counter::RdnStallCycles`]: sn_trace::Counter::RdnStallCycles
+    /// [`Counter::RdnPacketsDelivered`]: sn_trace::Counter::RdnPacketsDelivered
+    /// [`Counter::RdnDeferredFlows`]: sn_trace::Counter::RdnDeferredFlows
+    pub fn run_traced(&self, flows: &[Flow], name: &str, tracer: &sn_trace::Tracer) -> NetStats {
+        let stats = self.run(flows);
+        if tracer.is_enabled() {
+            use sn_trace::{ArgValue, Counter, Track};
+            tracer.count(Counter::RdnCycles, stats.cycles);
+            tracer.count(Counter::RdnStallCycles, stats.stall_cycles);
+            tracer.count(Counter::RdnPacketsDelivered, stats.delivered as u64);
+            tracer.count(Counter::RdnDeferredFlows, stats.deferred_flows as u64);
+            tracer.span(
+                Track::Rdusim,
+                format!("rdn:{name}"),
+                sn_arch::TimeSecs::from_nanos(stats.cycles as f64),
+                &[
+                    ("flows", ArgValue::from(flows.len())),
+                    ("delivered", ArgValue::from(stats.delivered)),
+                    ("stall_cycles", ArgValue::from(stats.stall_cycles)),
+                    ("deferred_flows", ArgValue::from(stats.deferred_flows)),
+                    ("link_utilization", ArgValue::from(stats.link_utilization)),
+                ],
+            );
+        }
+        stats
+    }
 }
 
 #[cfg(test)]

@@ -160,6 +160,76 @@ pub fn simulate_kernel(
     (mapping, stats)
 }
 
+/// [`simulate_kernel`] plus trace recording: counts the PCUs/PMUs the
+/// mapping occupies ([`Counter::PcusOccupied`], [`Counter::PmusOccupied`]),
+/// emits one instant per placed stage, and routes the mesh simulation
+/// through [`NetSim::run_traced`] so its cycles land on the rdusim track.
+/// The returned mapping and stats are bit-identical to the untraced call.
+///
+/// [`Counter::PcusOccupied`]: sn_trace::Counter::PcusOccupied
+/// [`Counter::PmusOccupied`]: sn_trace::Counter::PmusOccupied
+pub fn simulate_kernel_traced(
+    tile: &TileGeometry,
+    stages: &[StageReq],
+    fanout: usize,
+    name: &str,
+    tracer: &sn_trace::Tracer,
+) -> (Mapping, NetStats) {
+    if !tracer.is_enabled() {
+        return simulate_kernel(tile, stages, fanout);
+    }
+    use sn_trace::{ArgValue, Counter, Track};
+    let mapping = map_stages(tile, stages);
+    for (i, (req, placed)) in stages.iter().zip(&mapping.stages).enumerate() {
+        tracer.count(Counter::PcusOccupied, req.pcus as u64);
+        tracer.count(Counter::PmusOccupied, req.pmus as u64);
+        tracer.instant(
+            Track::Rdusim,
+            format!("place:{name}:stage{i}"),
+            &[
+                ("pcus", ArgValue::from(req.pcus)),
+                ("pmus", ArgValue::from(req.pmus)),
+                ("egress_x", ArgValue::from(placed.egress.x)),
+                ("egress_y", ArgValue::from(placed.egress.y)),
+            ],
+        );
+    }
+    // Window and clamp exactly as `simulate_kernel` does; `map_stages` is
+    // deterministic, so the mapping (and thus the stats) match it exactly.
+    let max_row = mapping
+        .stages
+        .iter()
+        .flat_map(|s| s.positions.iter())
+        .map(|c| c.y)
+        .max()
+        .unwrap_or(0);
+    let width = tile.cols.clamp(2, 16);
+    let height = (max_row + 1).clamp(2, 16);
+    let clamp = |c: Coord| Coord::new(c.x.min(width - 1), c.y.min(height - 1));
+    let flows: Vec<Flow> = pipeline_flows(&mapping, stages, fanout)
+        .into_iter()
+        .map(|f| {
+            let src = clamp(f.src);
+            let mut dsts: Vec<Coord> = f
+                .dsts
+                .into_iter()
+                .map(clamp)
+                .filter(|&d| d != src)
+                .collect();
+            dsts.dedup();
+            Flow { src, dsts, ..f }
+        })
+        .filter(|f| !f.dsts.is_empty())
+        .collect();
+    let sim = NetSim::new(NetConfig {
+        width,
+        height,
+        ..NetConfig::default()
+    });
+    let stats = sim.run_traced(&flows, name, tracer);
+    (mapping, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

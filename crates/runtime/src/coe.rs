@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use sn_arch::{Bandwidth, Bytes, NodeSpec, TimeSecs};
 use sn_faults::{FaultDecision, FaultPlan, FaultSite, Recovery, RetryPolicy};
 use sn_memsim::{AllocError, DeviceMemory, MemoryTier, Region, SegmentTable, VirtAddr};
+use sn_trace::{ArgValue, Counter, Metric, Tracer, Track};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -185,6 +186,7 @@ pub struct CoeRuntime {
     stats: CoeStats,
     faults: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
+    tracer: Tracer,
 }
 
 impl CoeRuntime {
@@ -201,7 +203,19 @@ impl CoeRuntime {
             stats: CoeStats::default(),
             faults: None,
             retry: RetryPolicy::standard(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: activations then emit hit instants or
+    /// `switch:<model>` spans on the CoE track, bump the expert cache
+    /// counters ([`Counter::ExpertHits`], [`Counter::ExpertMisses`],
+    /// [`Counter::ExpertEvictions`], [`Counter::ExpertSwitchBytes`]), and
+    /// record switch latencies in the [`Metric::ExpertSwitch`] histogram.
+    /// Outcomes and state transitions are unaffected.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Attaches a fault plan (consulted at [`FaultSite::ExpertLoad`] by
@@ -401,6 +415,10 @@ impl CoeRuntime {
             if reg.hbm_block.is_some() {
                 reg.last_use = clock;
                 self.stats.hits += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer.count(Counter::ExpertHits, 1);
+                    self.tracer.instant(Track::Coe, format!("hit:{name}"), &[]);
+                }
                 return Ok(ActivationOutcome {
                     hit: true,
                     evicted: Vec::new(),
@@ -459,6 +477,26 @@ impl CoeRuntime {
         self.stats.bytes_in += copied_in;
         self.stats.bytes_back += copied_back;
         let switch_time = (copied_in + copied_back) / self.switch_bandwidth;
+        if self.tracer.is_enabled() {
+            self.tracer.count(Counter::ExpertMisses, 1);
+            self.tracer
+                .count(Counter::ExpertEvictions, evicted.len() as u64);
+            self.tracer.count(
+                Counter::ExpertSwitchBytes,
+                (copied_in + copied_back).as_u64(),
+            );
+            self.tracer.observe(Metric::ExpertSwitch, switch_time);
+            self.tracer.span(
+                Track::Coe,
+                format!("switch:{name}"),
+                switch_time,
+                &[
+                    ("copied_in_bytes", ArgValue::from(copied_in.as_u64())),
+                    ("copied_back_bytes", ArgValue::from(copied_back.as_u64())),
+                    ("evictions", ArgValue::from(evicted.len())),
+                ],
+            );
+        }
         Ok(ActivationOutcome {
             hit: false,
             evicted,
@@ -505,6 +543,18 @@ impl CoeRuntime {
             }) {
             Ok((factor, recovery)) => {
                 self.stats.load_faults += recovery.retries as u64;
+                if self.tracer.is_enabled() && recovery.retries > 0 {
+                    self.tracer
+                        .count(Counter::RetriesAbsorbed, recovery.retries as u64);
+                    self.tracer.instant(
+                        Track::Coe,
+                        format!("load-retry:{name}"),
+                        &[
+                            ("retries", ArgValue::from(recovery.retries as u64)),
+                            ("recovery_us", ArgValue::from(recovery.time.as_micros())),
+                        ],
+                    );
+                }
                 outcome.switch_time = outcome.switch_time * factor;
                 Ok((outcome, recovery))
             }
@@ -808,6 +858,37 @@ mod tests {
         assert!(outcome.hit);
         assert_eq!(recovery, Recovery::default());
         assert_eq!(shared.stats().site(FaultSite::ExpertLoad).draws, 0);
+    }
+
+    #[test]
+    fn traced_activations_record_cache_counters() {
+        let t = Tracer::enabled();
+        let mut rt = runtime().with_tracer(t.clone());
+        rt.register(expert(0)).unwrap();
+        let miss = rt.activate("expert0").unwrap();
+        rt.activate("expert0").unwrap();
+        let m = t.metrics();
+        assert_eq!(m.counter(Counter::ExpertMisses), 1);
+        assert_eq!(m.counter(Counter::ExpertHits), 1);
+        assert_eq!(
+            m.counter(Counter::ExpertSwitchBytes),
+            miss.copied_in.as_u64()
+        );
+        assert_eq!(m.histogram(Metric::ExpertSwitch).unwrap().count(), 1);
+        // One switch span + one hit instant.
+        assert_eq!(t.event_count(), 2);
+    }
+
+    #[test]
+    fn traced_outcomes_match_untraced() {
+        let mut plain = runtime();
+        let mut traced = runtime().with_tracer(Tracer::enabled());
+        plain.register(expert(0)).unwrap();
+        traced.register(expert(0)).unwrap();
+        assert_eq!(
+            plain.activate("expert0").unwrap(),
+            traced.activate("expert0").unwrap()
+        );
     }
 
     #[test]

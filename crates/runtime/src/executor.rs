@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use sn_arch::{Calibration, NodeSpec, Orchestration, TimeSecs};
 use sn_compiler::Executable;
 use sn_faults::{FaultDecision, FaultPlan, FaultSite, Recovery, RetryError, RetryPolicy};
+use sn_trace::{ArgValue, Counter, Metric, Tracer, Track};
 use std::sync::Arc;
 
 /// Timing breakdown of one execution.
@@ -57,6 +58,7 @@ pub struct NodeExecutor {
     node: NodeSpec,
     calib: Calibration,
     faults: Option<Arc<FaultPlan>>,
+    tracer: Tracer,
 }
 
 impl NodeExecutor {
@@ -65,7 +67,18 @@ impl NodeExecutor {
             node,
             calib,
             faults: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: every run then emits a span on the runtime track
+    /// with its launch/program-load split, bumps
+    /// [`Counter::KernelLaunches`] / [`Counter::ProgramLoads`], and records
+    /// the total in the [`Metric::KernelRun`] histogram. Report timings are
+    /// unaffected.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Attaches a fault plan consulted at [`FaultSite::SocketLink`] by the
@@ -81,8 +94,9 @@ impl NodeExecutor {
         &self.node
     }
 
-    /// Runs the executable once under the given orchestration.
-    pub fn run(&self, exe: &Executable, orch: Orchestration) -> ExecutionReport {
+    /// [`NodeExecutor::run`] without trace recording — shared by the
+    /// public paths so decode loops don't double-count their inner run.
+    fn run_untraced(&self, exe: &Executable, orch: Orchestration) -> ExecutionReport {
         let launches = exe.kernel_count();
         let distinct = exe.distinct_programs();
         let exec = exe.execution_time();
@@ -98,6 +112,44 @@ impl NodeExecutor {
         }
     }
 
+    /// Records one completed run into the attached tracer (no-op when
+    /// tracing is disabled).
+    fn trace_run(&self, name: &str, report: &ExecutionReport) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer
+            .count(Counter::KernelLaunches, report.launches as u64);
+        self.tracer
+            .count(Counter::ProgramLoads, report.distinct_programs as u64);
+        self.tracer.observe(Metric::KernelRun, report.total);
+        self.tracer.span(
+            Track::Runtime,
+            name,
+            report.total,
+            &[
+                ("launches", ArgValue::from(report.launches)),
+                (
+                    "distinct_programs",
+                    ArgValue::from(report.distinct_programs),
+                ),
+                ("exec_us", ArgValue::from(report.exec.as_micros())),
+                ("launch_us", ArgValue::from(report.launch.as_micros())),
+                (
+                    "program_load_us",
+                    ArgValue::from(report.program_load.as_micros()),
+                ),
+            ],
+        );
+    }
+
+    /// Runs the executable once under the given orchestration.
+    pub fn run(&self, exe: &Executable, orch: Orchestration) -> ExecutionReport {
+        let report = self.run_untraced(exe, orch);
+        self.trace_run(&format!("run:{orch:?}"), &report);
+        report
+    }
+
     /// Runs a decode executable for `steps` autoregressive steps: program
     /// loads amortize across steps, launch overheads repeat.
     pub fn run_decode_loop(
@@ -106,17 +158,19 @@ impl NodeExecutor {
         orch: Orchestration,
         steps: usize,
     ) -> ExecutionReport {
-        let one = self.run(exe, orch);
+        let one = self.run_untraced(exe, orch);
         let exec = one.exec * steps as f64;
         let launch = one.launch * steps as f64;
-        ExecutionReport {
+        let report = ExecutionReport {
             total: exec + launch + one.program_load,
             exec,
             launch,
             program_load: one.program_load,
             launches: one.launches * steps,
             distinct_programs: one.distinct_programs,
-        }
+        };
+        self.trace_run(&format!("decode-loop:{steps}x"), &report);
+        report
     }
 
     /// Consults the fault plan at [`FaultSite::SocketLink`] and drives the
@@ -309,6 +363,32 @@ mod tests {
         assert!((slowed.total.as_secs() / clean.total.as_secs() - 2.0).abs() < 1e-9);
         assert_eq!(slowed.launches, clean.launches);
         assert_eq!(recovery.retries, 0, "slowdowns are not retried");
+    }
+
+    #[test]
+    fn traced_runs_record_launch_counters() {
+        let t = Tracer::enabled();
+        let (exe, node) = exec_llama(Phase::Decode { past_tokens: 4096 }, FusionPolicy::Spatial);
+        let node = node.with_tracer(t.clone());
+        let one = node.run(&exe, Orchestration::Hardware);
+        node.run_decode_loop(&exe, Orchestration::Hardware, 10);
+        let m = t.metrics();
+        assert_eq!(
+            m.counter(Counter::KernelLaunches),
+            (one.launches + one.launches * 10) as u64
+        );
+        assert_eq!(m.histogram(Metric::KernelRun).unwrap().count(), 2);
+        assert_eq!(t.event_count(), 2, "decode loop emits one span, not 11");
+    }
+
+    #[test]
+    fn traced_report_matches_untraced() {
+        let (exe, node) = exec_llama(Phase::Decode { past_tokens: 4096 }, FusionPolicy::Spatial);
+        let traced = node.clone().with_tracer(Tracer::enabled());
+        assert_eq!(
+            node.run(&exe, Orchestration::Hardware),
+            traced.run(&exe, Orchestration::Hardware)
+        );
     }
 
     #[test]

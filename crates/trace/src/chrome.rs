@@ -1,0 +1,207 @@
+//! Chrome trace event format writer.
+//!
+//! Serializes a tracer's event buffer into the JSON Object Format of the
+//! Chrome Trace Event specification — loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. The vendored `serde`
+//! is a marker stub, so serialization is hand-rolled here; output is
+//! deterministic: fixed key order, events in emission order, and `{:?}`
+//! (shortest-roundtrip) float formatting.
+//!
+//! Emitted phases:
+//!
+//! - `"M"` — process metadata naming each used [`Track`];
+//! - `"X"` — complete (duration) events;
+//! - `"i"` — instant markers;
+//! - `"C"` — counter samples.
+
+use crate::event::{ArgValue, EventKind, TraceEvent, Track};
+
+/// Serializes events into a Chrome-trace JSON document
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+///
+/// A process-name metadata record is emitted for every track that appears
+/// in `events`, in [`Track::ALL`] order, before the events themselves.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(128 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for track in Track::ALL {
+        if events.iter().any(|e| e.track == track) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_metadata(&mut out, track);
+        }
+    }
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_event(&mut out, e);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn write_metadata(out: &mut String, track: Track) {
+    out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+    out.push_str(&track.pid().to_string());
+    out.push_str(",\"tid\":0,\"args\":{\"name\":");
+    write_json_string(out, track.name());
+    out.push_str("}}");
+}
+
+fn write_event(out: &mut String, e: &TraceEvent) {
+    out.push_str("{\"name\":");
+    write_json_string(out, &e.name);
+    let ph = match e.kind {
+        EventKind::Complete { .. } => "X",
+        EventKind::Instant => "i",
+        EventKind::Counter { .. } => "C",
+    };
+    out.push_str(",\"ph\":\"");
+    out.push_str(ph);
+    out.push_str("\",\"pid\":");
+    out.push_str(&e.track.pid().to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&e.tid.to_string());
+    out.push_str(",\"ts\":");
+    write_f64(out, e.ts_us);
+    match e.kind {
+        EventKind::Complete { dur_us } => {
+            out.push_str(",\"dur\":");
+            write_f64(out, dur_us);
+        }
+        EventKind::Instant => {
+            // Thread-scoped instant: renders as a marker on the tid lane.
+            out.push_str(",\"s\":\"t\"");
+        }
+        EventKind::Counter { .. } => {}
+    }
+    out.push_str(",\"args\":{");
+    match e.kind {
+        EventKind::Counter { value } => {
+            out.push_str("\"value\":");
+            write_f64(out, value);
+        }
+        _ => {
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, k);
+                out.push(':');
+                write_arg(out, v);
+            }
+        }
+    }
+    out.push_str("}}");
+}
+
+fn write_arg(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => out.push_str(&n.to_string()),
+        ArgValue::F64(x) => write_f64(out, *x),
+        ArgValue::Str(s) => write_json_string(out, s),
+        ArgValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Writes a finite float using Rust's shortest-roundtrip `{:?}` formatting
+/// (deterministic across runs); non-finite values degrade to 0.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push('0');
+    }
+}
+
+/// Escapes and quotes a string per JSON rules.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_valid_shape() {
+        let json = to_chrome_json(&[]);
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+
+    #[test]
+    fn complete_event_has_phase_x_and_dur() {
+        let e = TraceEvent {
+            name: "kernel".into(),
+            track: Track::Runtime,
+            tid: 0,
+            ts_us: 1.5,
+            kind: EventKind::Complete { dur_us: 2.25 },
+            args: vec![("launches", ArgValue::U64(3))],
+        };
+        let json = to_chrome_json(&[e]);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":2.25"));
+        assert!(json.contains("\"launches\":3"));
+        // Metadata names the runtime process.
+        assert!(json.contains("process_name"));
+        assert!(json.contains("runtime (kernel launches)"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = TraceEvent {
+            name: "a\"b\\c\n".into(),
+            track: Track::Coe,
+            tid: 0,
+            ts_us: 0.0,
+            kind: EventKind::Instant,
+            args: vec![],
+        };
+        let json = to_chrome_json(&[e]);
+        assert!(json.contains("a\\\"b\\\\c\\n"));
+        assert!(json.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn counter_event_carries_value() {
+        let e = TraceEvent {
+            name: "hbm_used".into(),
+            track: Track::Memsim,
+            tid: 0,
+            ts_us: 0.0,
+            kind: EventKind::Counter { value: 0.5 },
+            args: vec![],
+        };
+        let json = to_chrome_json(&[e]);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":0.5"));
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_zero() {
+        let mut s = String::new();
+        write_f64(&mut s, f64::NAN);
+        write_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "00");
+    }
+}

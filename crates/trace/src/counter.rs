@@ -1,0 +1,452 @@
+//! Typed hardware counters and latency histograms.
+//!
+//! Every counter documents its **unit** and the **paper mechanism** it
+//! observes, so a number in a [`crate::MetricsReport`] can always be traced
+//! back to the claim it supports. Counters are monotonic sums over a
+//! tracer's lifetime; histograms aggregate per-operation latencies into
+//! power-of-two buckets.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonic counter exported by the instrumented simulation stack.
+///
+/// Each variant's documentation states the unit and the paper mechanism it
+/// observes. Counters are accumulated in a fixed array inside the tracer
+/// (indexed by [`Counter::index`]), so aggregation order never depends on
+/// hash-map iteration and reports are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Counter {
+    /// Unit: cycles. Total PMU scratchpad vector-access cycles, including
+    /// serialization from bank conflicts (§IV-B: banked scratchpad with
+    /// programmable bank bits).
+    PmuAccessCycles,
+    /// Unit: cycles. Cycles *lost* to PMU bank conflicts: the excess of an
+    /// access over the one-cycle conflict-free ideal. The quantity the
+    /// SN40L's programmable bank bits and diagonally striped transpose
+    /// layout drive to zero (§IV-B, §VII).
+    PmuBankConflictCycles,
+    /// Unit: units. PCUs occupied by mapped kernel stages on the tile mesh
+    /// (§IV-A, Figure 4: gangs of Pattern Compute Units per stage).
+    PcusOccupied,
+    /// Unit: units. PMUs occupied as stage buffers by mapped kernels
+    /// (§IV-B: decoupling stage buffers between pipeline stages).
+    PmusOccupied,
+    /// Unit: cycles. Total RDN mesh-simulation cycles until all packets of
+    /// all flows delivered (§IV-C: the Reconfigurable Dataflow Network).
+    RdnCycles,
+    /// Unit: cycles. Output-port stalls from exhausted credits summed over
+    /// all RDN switches — the congestion signal the paper's packet
+    /// throttling attacks (§IV-C credit flow control, §VII "Managing
+    /// bandwidth in software").
+    RdnStallCycles,
+    /// Unit: packets. Packets delivered to RDN local ports (§IV-C).
+    RdnPacketsDelivered,
+    /// Unit: flows. Flows deferred to a serial follow-up phase by flow-ID
+    /// exhaustion — the SN10 penalty the SN40L's MPLS-style relabeling
+    /// removes (§IV-E).
+    RdnDeferredFlows,
+    /// Unit: cycles. Cycles fused-pipeline stages spent blocked on a full
+    /// downstream stage buffer (Figure 4 back-pressure; finite PMU buffer
+    /// depths).
+    PipelineBlockedCycles,
+    /// Unit: transfers. DMA transfers executed between memory tiers
+    /// (§IV-D: AGCU-streamed transfers).
+    DmaTransfers,
+    /// Unit: bytes. Bytes moved DDR→HBM — the model-switch route whose
+    /// bandwidth makes Composition of Experts viable on the SN40L (§V-B,
+    /// Figure 1).
+    DmaBytesDdrToHbm,
+    /// Unit: bytes. Bytes moved HBM→DDR (dirty-state copy-back on expert
+    /// eviction, §V-B).
+    DmaBytesHbmToDdr,
+    /// Unit: bytes. Bytes moved host↔device over PCIe — the slow
+    /// model-switch path conventional GPUs are stuck with (§III-B,
+    /// Figure 1's DGX bars).
+    DmaBytesHost,
+    /// Unit: count. Injected DMA failures observed at the transfer site
+    /// (PR 1 fault framework; transfers abort and are retried upstream).
+    DmaFaultsInjected,
+    /// Unit: launches. Kernel launches issued by the executor. With
+    /// spatial fusion the paper collapses this by 3–19× (Figure 11).
+    KernelLaunches,
+    /// Unit: loads. One-time program-configuration loads — paid per
+    /// distinct kernel, amortized across relaunches (§IV-D, §VI-A).
+    ProgramLoads,
+    /// Unit: activations. Expert activations that found the expert already
+    /// HBM-resident (§V-B: the CoE runtime's HBM cache).
+    ExpertHits,
+    /// Unit: activations. Expert activations that had to copy weights
+    /// DDR→HBM (§V-B; each miss costs a Figure 1 "model switching" bar).
+    ExpertMisses,
+    /// Unit: evictions. Experts evicted from HBM to make room (LRU; §V-B).
+    ExpertEvictions,
+    /// Unit: bytes. Total bytes moved by expert switches (copy-in plus
+    /// dirty copy-back; read-only weights skip the return trip, §V-B).
+    ExpertSwitchBytes,
+    /// Unit: decisions. Router classifications issued — one per prompt
+    /// (§II, §VI-B: the CoE router is itself a Llama2-7B-class model).
+    RouterDecisions,
+    /// Unit: prompts. Prompts served to completion across all batches.
+    PromptsServed,
+    /// Unit: retries. Failed attempts absorbed by retry policies across
+    /// routing, expert loads, and execution (PR 1 degraded-mode serving;
+    /// recovery time appears in `ServeReport::recovery`).
+    RetriesAbsorbed,
+    /// Unit: experts. Experts re-homed onto surviving nodes after their
+    /// home node failed (PR 1 cluster failover).
+    ExpertsRehomed,
+    /// Unit: prompts. Prompts dropped because no survivor could adopt
+    /// their expert (availability loss under faults).
+    PromptsDropped,
+}
+
+impl Counter {
+    /// Every counter, in report order.
+    pub const ALL: [Counter; 25] = [
+        Counter::PmuAccessCycles,
+        Counter::PmuBankConflictCycles,
+        Counter::PcusOccupied,
+        Counter::PmusOccupied,
+        Counter::RdnCycles,
+        Counter::RdnStallCycles,
+        Counter::RdnPacketsDelivered,
+        Counter::RdnDeferredFlows,
+        Counter::PipelineBlockedCycles,
+        Counter::DmaTransfers,
+        Counter::DmaBytesDdrToHbm,
+        Counter::DmaBytesHbmToDdr,
+        Counter::DmaBytesHost,
+        Counter::DmaFaultsInjected,
+        Counter::KernelLaunches,
+        Counter::ProgramLoads,
+        Counter::ExpertHits,
+        Counter::ExpertMisses,
+        Counter::ExpertEvictions,
+        Counter::ExpertSwitchBytes,
+        Counter::RouterDecisions,
+        Counter::PromptsServed,
+        Counter::RetriesAbsorbed,
+        Counter::ExpertsRehomed,
+        Counter::PromptsDropped,
+    ];
+
+    /// Number of counters (size of the tracer's accumulation array).
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// Stable array index of this counter.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Snake-case name used in reports and trace args.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::PmuAccessCycles => "pmu_access_cycles",
+            Counter::PmuBankConflictCycles => "pmu_bank_conflict_cycles",
+            Counter::PcusOccupied => "pcus_occupied",
+            Counter::PmusOccupied => "pmus_occupied",
+            Counter::RdnCycles => "rdn_cycles",
+            Counter::RdnStallCycles => "rdn_stall_cycles",
+            Counter::RdnPacketsDelivered => "rdn_packets_delivered",
+            Counter::RdnDeferredFlows => "rdn_deferred_flows",
+            Counter::PipelineBlockedCycles => "pipeline_blocked_cycles",
+            Counter::DmaTransfers => "dma_transfers",
+            Counter::DmaBytesDdrToHbm => "dma_bytes_ddr_to_hbm",
+            Counter::DmaBytesHbmToDdr => "dma_bytes_hbm_to_ddr",
+            Counter::DmaBytesHost => "dma_bytes_host",
+            Counter::DmaFaultsInjected => "dma_faults_injected",
+            Counter::KernelLaunches => "kernel_launches",
+            Counter::ProgramLoads => "program_loads",
+            Counter::ExpertHits => "expert_hits",
+            Counter::ExpertMisses => "expert_misses",
+            Counter::ExpertEvictions => "expert_evictions",
+            Counter::ExpertSwitchBytes => "expert_switch_bytes",
+            Counter::RouterDecisions => "router_decisions",
+            Counter::PromptsServed => "prompts_served",
+            Counter::RetriesAbsorbed => "retries_absorbed",
+            Counter::ExpertsRehomed => "experts_rehomed",
+            Counter::PromptsDropped => "prompts_dropped",
+        }
+    }
+
+    /// Unit string for report rendering.
+    pub const fn unit(self) -> &'static str {
+        match self {
+            Counter::PmuAccessCycles
+            | Counter::PmuBankConflictCycles
+            | Counter::RdnCycles
+            | Counter::RdnStallCycles
+            | Counter::PipelineBlockedCycles => "cycles",
+            Counter::PcusOccupied | Counter::PmusOccupied => "units",
+            Counter::RdnPacketsDelivered => "packets",
+            Counter::RdnDeferredFlows => "flows",
+            Counter::DmaTransfers => "transfers",
+            Counter::DmaBytesDdrToHbm
+            | Counter::DmaBytesHbmToDdr
+            | Counter::DmaBytesHost
+            | Counter::ExpertSwitchBytes => "bytes",
+            Counter::DmaFaultsInjected => "faults",
+            Counter::KernelLaunches => "launches",
+            Counter::ProgramLoads => "loads",
+            Counter::ExpertHits | Counter::ExpertMisses => "activations",
+            Counter::ExpertEvictions => "evictions",
+            Counter::RouterDecisions => "decisions",
+            Counter::PromptsServed | Counter::PromptsDropped => "prompts",
+            Counter::RetriesAbsorbed => "retries",
+            Counter::ExpertsRehomed => "experts",
+        }
+    }
+}
+
+/// A latency histogram identity: which operation's durations are being
+/// aggregated. All histograms record **nanoseconds of model time**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Per-transfer DMA latency (§IV-D). Spread reveals the mix of small
+    /// argument transfers and multi-gigabyte expert copies.
+    DmaTransfer,
+    /// Per-activation expert switch time DDR→HBM (§V-B, the Figure 1
+    /// "model switching" component).
+    ExpertSwitch,
+    /// Per-call kernel execution time, launch overheads included (§IV-D).
+    KernelRun,
+    /// Per-prompt end-to-end latency: router share + exposed switch +
+    /// execution + recovery (Figure 12's per-request quantity).
+    Request,
+}
+
+impl Metric {
+    /// Every histogram, in report order.
+    pub const ALL: [Metric; 4] = [
+        Metric::DmaTransfer,
+        Metric::ExpertSwitch,
+        Metric::KernelRun,
+        Metric::Request,
+    ];
+
+    /// Number of histograms (size of the tracer's aggregation array).
+    pub const COUNT: usize = Metric::ALL.len();
+
+    /// Stable array index of this metric.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Snake-case name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::DmaTransfer => "dma_transfer_ns",
+            Metric::ExpertSwitch => "expert_switch_ns",
+            Metric::KernelRun => "kernel_run_ns",
+            Metric::Request => "request_ns",
+        }
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` holds values in
+/// `[2^(i-1), 2^i)` ns (bucket 0 holds zero), covering up to ~2.3 years of
+/// model time — far beyond any simulated latency.
+pub const HISTOGRAM_BUCKETS: usize = 56;
+
+/// A power-of-two latency histogram over nanoseconds of model time.
+///
+/// Deterministic by construction: recording is a pure function of the
+/// value, and bucket order is fixed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    const fn bucket_of(value_ns: u64) -> usize {
+        let b = (u64::BITS - value_ns.leading_zeros()) as usize;
+        if b >= HISTOGRAM_BUCKETS {
+            HISTOGRAM_BUCKETS - 1
+        } else {
+            b
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value_ns: u64) {
+        self.buckets[Self::bucket_of(value_ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(value_ns);
+        if value_ns < self.min_ns {
+            self.min_ns = value_ns;
+        }
+        if value_ns > self.max_ns {
+            self.max_ns = value_ns;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Smallest observation in nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest observation in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean observation in nanoseconds (0.0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive, in ns) of the bucket holding the requested
+    /// quantile `q` in `[0, 1]` — a conservative percentile estimate with
+    /// power-of-two resolution. Returns 0 when empty.
+    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Non-empty buckets as `(upper_bound_ns, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+
+    /// Merges another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_indices_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+        }
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [100, 200, 400, 800] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 1500);
+        assert_eq!(h.min_ns(), 100);
+        assert_eq!(h.max_ns(), 800);
+        assert!((h.mean_ns() - 375.0).abs() < 1e-9);
+        // p100 upper bound covers the max.
+        assert!(h.quantile_upper_ns(1.0) >= 800);
+    }
+
+    #[test]
+    fn zero_and_huge_values_stay_in_range() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nonzero_buckets().len(), 2);
+        assert_eq!(h.nonzero_buckets()[0], (0, 1));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min_ns(), 10);
+        assert_eq!(a.max_ns(), 1000);
+    }
+
+    proptest! {
+        /// Quantile upper bounds are monotone in q and bound the data.
+        #[test]
+        fn quantiles_are_monotone(values in proptest::collection::vec(0u64..1_000_000_000, 1..100)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let qs = [0.1, 0.5, 0.9, 0.99, 1.0];
+            let mut prev = 0;
+            for &q in &qs {
+                let u = h.quantile_upper_ns(q);
+                prop_assert!(u >= prev, "quantiles must be monotone");
+                prev = u;
+            }
+            prop_assert!(h.quantile_upper_ns(1.0) >= h.max_ns());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Observability layer for the SN40L simulation stack: structured event
+//! tracing, typed hardware counters, and aggregated metrics.
+//!
+//! The paper's performance claims (Figs. 10–12, Table 1) hinge on
+//! *mechanisms* — operator fusion depth (§VI-A), PMU bank conflicts
+//! (§IV-B), RDN switch credit stalls (§IV-C, §VII), HBM/DDR bandwidth
+//! saturation and DMA overlap (§V-B) — that the simulator models but could
+//! not show until this crate existed. Instrumented crates (`sn-rdusim`,
+//! `sn-memsim`, `sn-runtime`, `sn-coe`) hold a [`Tracer`] handle and emit
+//! events and counters through it; two sinks consume the result:
+//!
+//! - a Chrome-trace/Perfetto-compatible JSON timeline
+//!   ([`Tracer::chrome_trace_json`], written by `repro --trace out.json`);
+//! - an aggregated [`MetricsReport`] (typed [`Counter`]s plus
+//!   [`Histogram`]s) attached to serving reports.
+//!
+//! # Zero overhead when disabled
+//!
+//! A [`Tracer`] is either *enabled* (holds a shared buffer) or *disabled*
+//! (holds nothing — [`Tracer::disabled`], also the `Default`). Every
+//! recording method starts with an inlined null check on the inner
+//! `Option`, so the disabled path compiles down to a branch on a
+//! known-`None` discriminant and the instrumented simulators produce
+//! bit-identical numbers with tracing off. The bench-parity guard in
+//! `tests/trace.rs` enforces this.
+//!
+//! # Determinism
+//!
+//! Event order is the instrumentation call order, counters live in fixed
+//! arrays indexed by enum discriminant, and timestamps derive from the
+//! same deterministic model arithmetic as the reports — so two same-seed
+//! runs emit byte-identical trace streams (also enforced by
+//! `tests/trace.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use sn_trace::{Counter, Metric, Tracer, Track};
+//! use sn_arch::TimeSecs;
+//!
+//! let tracer = Tracer::enabled();
+//! tracer.count(Counter::ExpertMisses, 1);
+//! tracer.observe(Metric::ExpertSwitch, TimeSecs::from_millis(13.0));
+//! tracer.span(Track::Coe, "switch:expert7", TimeSecs::from_millis(13.0), &[]);
+//! let json = tracer.chrome_trace_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! assert_eq!(tracer.metrics().counter(Counter::ExpertMisses), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod counter;
+pub mod event;
+pub mod json;
+pub mod report;
+pub mod tracer;
+
+pub use counter::{Counter, Histogram, Metric};
+pub use event::{ArgValue, EventKind, TraceEvent, Track};
+pub use report::MetricsReport;
+pub use tracer::Tracer;

@@ -20,6 +20,7 @@
 //! | [`baseline`] (`sn-baseline`) | DGX A100/H100 analytical executors and footprint models |
 //! | [`coe`] (`sn-coe`) | Samba-CoE: experts, router, serving, platform comparison |
 //! | [`faults`] (`sn-faults`) | Seeded fault injection, retry policies, degraded-mode serving |
+//! | [`trace`] (`sn-trace`) | Structured event tracing, typed counters, Perfetto timeline export |
 //!
 //! # Quickstart
 //!
@@ -56,3 +57,4 @@ pub use sn_memsim as memsim;
 pub use sn_models as models;
 pub use sn_rdusim as rdusim;
 pub use sn_runtime as runtime;
+pub use sn_trace as trace;

@@ -1,0 +1,87 @@
+//! Tracing guarantees: determinism, Chrome-trace schema validity, and the
+//! bench-parity contract (a disabled tracer changes nothing).
+
+use samba_coe::coe::{ExpertLibrary, PromptGenerator, SambaCoeNode};
+use samba_coe::trace::json::{self, JsonValue};
+use samba_coe::trace::Tracer;
+use sn_arch::NodeSpec;
+use sn_bench::trace::traced_fig12_run;
+
+/// Two identical traced runs must emit byte-identical trace streams —
+/// event order is instrumentation call order and every timestamp derives
+/// from the same deterministic model arithmetic.
+#[test]
+fn same_seed_runs_emit_byte_identical_traces() {
+    let a = traced_fig12_run(150, 8);
+    let b = traced_fig12_run(150, 8);
+    assert_eq!(a.trace_json, b.trace_json, "trace streams must not drift");
+    assert_eq!(
+        a.report.metrics, b.report.metrics,
+        "aggregated metrics must not drift"
+    );
+}
+
+/// The emitted JSON must parse and have the Chrome trace event shape
+/// Perfetto expects: a `traceEvents` array whose entries carry `name`,
+/// `ph`, `pid`, and (for non-metadata events) a numeric `ts`; complete
+/// events carry a non-negative `dur`.
+#[test]
+fn emitted_json_is_valid_chrome_trace_format() {
+    let run = traced_fig12_run(150, 8);
+    let doc = json::parse(&run.trace_json).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("top-level traceEvents array");
+    assert!(events.len() > 10, "a real run produces many events");
+    let mut pids = std::collections::BTreeSet::new();
+    for e in events {
+        e.get("name").and_then(JsonValue::as_str).expect("name");
+        let ph = e.get("ph").and_then(JsonValue::as_str).expect("ph");
+        let pid = e.get("pid").and_then(JsonValue::as_f64).expect("pid");
+        pids.insert(pid as u64);
+        match ph {
+            "M" => {}
+            "X" => {
+                let ts = e.get("ts").and_then(JsonValue::as_f64).expect("ts");
+                let dur = e.get("dur").and_then(JsonValue::as_f64).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0, "ts/dur must be non-negative");
+            }
+            "i" | "C" => {
+                e.get("ts").and_then(JsonValue::as_f64).expect("ts");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    // The fig12 timeline must cover rdusim (pid 1), memsim (pid 2),
+    // runtime (pid 3), and coe serving (pid 4).
+    for pid in [1u64, 2, 3, 4] {
+        assert!(pids.contains(&pid), "timeline misses pid {pid}");
+    }
+}
+
+/// Bench-parity guard: a node with tracing disabled produces a
+/// `ServeReport` bit-identical to the pre-existing untraced path, and a
+/// node with tracing *enabled* perturbs none of the timing fields.
+#[test]
+fn disabled_tracer_is_bit_identical_to_untraced_path() {
+    let make = || SambaCoeNode::new(NodeSpec::sn40l_node(), ExpertLibrary::new(150), 1024);
+    let batch = PromptGenerator::new(7, 1024).batch(6);
+
+    let want = make().serve_batch(&batch, 20);
+    let disabled = make()
+        .with_tracer(Tracer::disabled())
+        .serve_batch(&batch, 20);
+    assert_eq!(want, disabled, "disabled tracer: bit-identical report");
+
+    let enabled = make()
+        .with_tracer(Tracer::enabled())
+        .serve_batch(&batch, 20);
+    assert_eq!(want.router, enabled.router);
+    assert_eq!(want.switching, enabled.switching);
+    assert_eq!(want.execution, enabled.execution);
+    assert_eq!(want.recovery, enabled.recovery);
+    assert_eq!(want.assignments, enabled.assignments);
+    assert!(want.metrics.is_none());
+    assert!(enabled.metrics.is_some());
+}
