@@ -1,6 +1,7 @@
 //! Node-level descriptions: the 8-socket SN40L Node (§I, §V) and its
 //! aggregate memory/compute characteristics under tensor parallelism.
 
+use crate::roofline::Roofline;
 use crate::socket::SocketSpec;
 use crate::units::{Bandwidth, Bytes, FlopRate};
 use serde::{Deserialize, Serialize};
@@ -65,6 +66,13 @@ impl NodeSpec {
             .model_switch_bandwidth()
             .scale(self.sockets as f64)
     }
+
+    /// The node's HBM roofline: aggregate peak BF16 compute over aggregate
+    /// *effective* HBM bandwidth — the ceiling/slope pair kernels streaming
+    /// weights from HBM are measured against (§III-A).
+    pub fn roofline(&self) -> Roofline {
+        Roofline::new(self.peak_bf16(), self.effective_hbm_bandwidth())
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +91,17 @@ mod tests {
     fn node_switch_bandwidth_exceeds_1tbps() {
         let n = NodeSpec::sn40l_node();
         assert!(n.model_switch_bandwidth().as_tb_per_s() > 1.0);
+    }
+
+    #[test]
+    fn node_roofline_uses_effective_hbm_bandwidth() {
+        let n = NodeSpec::sn40l_node();
+        let r = n.roofline();
+        assert_eq!(r.peak, n.peak_bf16());
+        assert_eq!(r.bandwidth, n.effective_hbm_bandwidth());
+        // Derating raises the balance point above the peak-bandwidth one:
+        // 638/2.0*... per socket ≈ 319/0.85 ≈ 375 ops/byte.
+        assert!(r.balance() > 350.0 && r.balance() < 400.0);
     }
 
     #[test]

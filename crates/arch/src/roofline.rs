@@ -63,6 +63,19 @@ impl Roofline {
     pub fn efficiency_at(&self, intensity: f64) -> f64 {
         self.attainable(intensity) / self.peak
     }
+
+    /// Attained-vs-attainable ratio: how close a measured FLOP rate comes
+    /// to what this roofline allows at the given intensity, clamped to
+    /// `[0, 1]`. Returns 0.0 when nothing is attainable (zero intensity on
+    /// the bandwidth slope) — the profiler's "no useful FLOPs here" case.
+    pub fn utilization(&self, attained: FlopRate, intensity: f64) -> f64 {
+        let ceiling = self.attainable(intensity);
+        if ceiling.as_flops_per_s() == 0.0 {
+            0.0
+        } else {
+            (attained / ceiling).clamp(0.0, 1.0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +116,19 @@ mod tests {
         assert_eq!(r.regime(34.9), Regime::MemoryBound);
         assert_eq!(r.regime(126.7), Regime::MemoryBound);
         assert_eq!(r.regime(368.5), Regime::ComputeBound);
+    }
+
+    #[test]
+    fn utilization_compares_attained_to_attainable() {
+        let r = a100_like();
+        // Memory-bound intensity 50: attainable = 2.039 TB/s * 50.
+        let ceiling = r.attainable(50.0);
+        assert!((r.utilization(ceiling, 50.0) - 1.0).abs() < 1e-12);
+        assert!((r.utilization(ceiling.scale(0.5), 50.0) - 0.5).abs() < 1e-12);
+        // Over-attainment clamps instead of reporting >100%.
+        assert_eq!(r.utilization(ceiling.scale(2.0), 50.0), 1.0);
+        // Zero intensity: nothing attainable, utilization defined as zero.
+        assert_eq!(r.utilization(FlopRate::from_tflops(1.0), 0.0), 0.0);
     }
 
     #[test]

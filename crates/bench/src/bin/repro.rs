@@ -3,6 +3,9 @@
 //! ```text
 //! repro [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|--faults|all]
 //! repro --trace [out.json]
+//! repro --profile
+//! repro --bench-json [out.json]
+//! repro --bench-check <baseline.json> [current.json]
 //! ```
 //!
 //! `--trace` replays the Figure 12 SN40L serving point (150 experts,
@@ -11,6 +14,18 @@
 //! aggregated counter/histogram table. Combine with `--faults` separately
 //! to study degraded-mode behaviour; `--trace` itself runs fault-free so
 //! timelines are reproducible byte-for-byte.
+//!
+//! `--profile` replays the same point and prints the roofline bottleneck
+//! attribution (per-phase time, attained vs attainable FLOP rate, tier
+//! utilization, compute/HBM/DDR/switching classification) plus the
+//! serving SLO dashboard (sliding-window latency/TTFT percentiles,
+//! tokens/sec, tier utilization gauges).
+//!
+//! `--bench-json` writes the continuous-benchmark snapshot — every
+//! tracked key figure with its tolerance — for `scripts/bench_check.sh`.
+//! `--bench-check` compares a current snapshot (regenerated in-process
+//! when not given) against a committed baseline and exits non-zero if
+//! any tracked metric regressed beyond its tolerance.
 
 use sn_bench::ablations;
 use sn_bench::experiments::{self, PROMPT_TOKENS};
@@ -262,6 +277,91 @@ fn run_trace(path: &str) {
     );
 }
 
+fn run_profile() {
+    hr("PROFILE: roofline attribution, Figure 12 point (150 experts, BS=8, 20 tokens)");
+    let run = sn_bench::profile::profiled_fig12_run(150, 8, 4);
+    println!(
+        "served {} batches of 8 prompts; last batch total {}\n",
+        run.batches,
+        run.report.total()
+    );
+    println!("{}", run.attribution.render_table());
+    let dominant_kind = run.attribution.dominant().expect("phases sampled");
+    let dominant = run.attribution.phase(dominant_kind).expect("phase sampled");
+    println!(
+        "dominant phase: {} ({:.1}% of batch, {})\n",
+        dominant.kind.name(),
+        100.0 * dominant.fraction,
+        dominant.bound.name()
+    );
+    println!("{}", run.slo().render_table());
+    let metrics = run.report.metrics.as_ref().expect("tracer attached");
+    if let Some(q) = sn_profile::request_latency_quantiles(metrics) {
+        println!(
+            "per-request latency (histogram upper bounds): p50 <= {} ns, p95 <= {} ns, \
+             p99 <= {} ns",
+            q.p50_ns, q.p95_ns, q.p99_ns
+        );
+    }
+}
+
+fn run_bench_json(path: &str) {
+    hr("BENCH SNAPSHOT: tracked key figures for the regression harness");
+    let wall = std::time::Instant::now();
+    let mut snap = sn_bench::profile::bench_snapshot();
+    let elapsed_ms = wall.elapsed().as_secs_f64() * 1e3;
+    snap.push_info("simulator_wall_clock_ms", &format!("{elapsed_ms:.1}"));
+    let json = snap.to_json();
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write snapshot to {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {path} ({} bytes, {} tracked metrics, simulator wall-clock {elapsed_ms:.1} ms)",
+        json.len(),
+        snap.metrics.len()
+    );
+}
+
+fn load_snapshot(path: &str) -> sn_profile::BenchSnapshot {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match sn_profile::BenchSnapshot::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_bench_check(baseline_path: &str, current_path: Option<&str>) {
+    hr(&format!(
+        "BENCH CHECK: current run vs baseline {baseline_path}"
+    ));
+    let baseline = load_snapshot(baseline_path);
+    let current = match current_path {
+        Some(p) => load_snapshot(p),
+        None => sn_bench::profile::bench_snapshot(),
+    };
+    let report = baseline.compare(&current);
+    println!("{}", report.render_table());
+    if report.passed() {
+        println!("bench check PASSED: all tracked metrics within tolerance");
+    } else {
+        eprintln!(
+            "bench check FAILED: {} metric(s) regressed or missing",
+            report.regressions()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
@@ -269,6 +369,23 @@ fn main() {
         "trace" | "--trace" => {
             let path = args.get(1).map(String::as_str).unwrap_or("trace.json");
             run_trace(path);
+            return;
+        }
+        "profile" | "--profile" => {
+            run_profile();
+            return;
+        }
+        "bench-json" | "--bench-json" => {
+            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR3.json");
+            run_bench_json(path);
+            return;
+        }
+        "bench-check" | "--bench-check" => {
+            let Some(baseline) = args.get(1) else {
+                eprintln!("usage: repro --bench-check <baseline.json> [current.json]");
+                std::process::exit(2);
+            };
+            run_bench_check(baseline, args.get(2).map(String::as_str));
             return;
         }
         _ => {}
@@ -301,7 +418,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of table1|table2|fig1|fig10|\
-                 fig11|fig12|fig13|table3|ablations|extensions|--faults|--trace [out.json]|all"
+                 fig11|fig12|fig13|table3|ablations|extensions|--faults|--trace [out.json]|\
+                 --profile|--bench-json [out.json]|--bench-check <baseline> [current]|all"
             );
             std::process::exit(2);
         }

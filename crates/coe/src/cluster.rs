@@ -9,10 +9,11 @@
 use crate::expert::ExpertLibrary;
 use crate::router::{Prompt, Router};
 use serde::{Deserialize, Serialize};
-use sn_arch::{Calibration, NodeSpec, Orchestration, TimeSecs};
+use sn_arch::{Bytes, Calibration, NodeSpec, Orchestration, TimeSecs};
 use sn_compiler::{Compiler, Executable, FusionPolicy};
 use sn_faults::{FaultDecision, FaultPlan, FaultSite, RetryPolicy};
 use sn_models::{build, Phase};
+use sn_profile::{BatchObservation, MachineProfile, SloConfig, SloSnapshot, SloTracker};
 use sn_runtime::coe::{CoeError, CoeRuntime, CoeRuntimeConfig, ModelBinary};
 use sn_runtime::executor::NodeExecutor;
 use sn_trace::{ArgValue, Counter, MetricsReport, Tracer, Track};
@@ -46,6 +47,10 @@ pub struct ClusterReport {
     /// Aggregated trace metrics, present when a [`Tracer`] was attached
     /// via [`CoeCluster::with_tracer`]; `None` on untraced runs.
     pub metrics: Option<MetricsReport>,
+    /// Sliding-window serving SLO snapshot over whole-cluster capacity,
+    /// present when a tracker was attached via [`CoeCluster::with_slo`];
+    /// `None` otherwise.
+    pub slo: Option<SloSnapshot>,
 }
 
 impl ClusterReport {
@@ -106,6 +111,7 @@ pub struct CoeCluster {
     faults: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
     tracer: Tracer,
+    slo: Option<SloTracker>,
 }
 
 impl CoeCluster {
@@ -171,6 +177,7 @@ impl CoeCluster {
             faults: None,
             retry: RetryPolicy::standard(),
             tracer: Tracer::disabled(),
+            slo: None,
         })
     }
 
@@ -204,6 +211,21 @@ impl CoeCluster {
             .collect();
         self.executor = self.executor.with_tracer(tracer.clone());
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a serving-SLO tracker measuring against whole-cluster
+    /// capacity (the node profile scaled by node count): every serve call
+    /// then feeds the batch into a sliding window and stamps the refreshed
+    /// [`SloSnapshot`] onto its [`ClusterReport`]. Pure bookkeeping over
+    /// already-computed timings.
+    #[must_use]
+    pub fn with_slo(mut self, config: SloConfig) -> Self {
+        let nodes = self.runtimes.len() as f64;
+        self.slo = Some(SloTracker::new(
+            MachineProfile::from_node(self.executor.node()).scale(nodes),
+            config,
+        ));
         self
     }
 
@@ -260,7 +282,9 @@ impl CoeCluster {
         prefill + step * self.router_steps
     }
 
-    fn model_run_time(&self, output_tokens: usize) -> TimeSecs {
+    /// Unit timings for one model run: (prefill, `output_tokens`-step
+    /// decode loop).
+    fn unit_run_times(&self, output_tokens: usize) -> (TimeSecs, TimeSecs) {
         let prefill = self
             .executor
             .run(&self.prefill_exe, Orchestration::Hardware)
@@ -273,7 +297,45 @@ impl CoeCluster {
                 output_tokens.max(1),
             )
             .total;
-        prefill + decode
+        (prefill, decode)
+    }
+
+    /// Feeds one served batch into the SLO tracker (when attached) and
+    /// stamps the report with the refreshed window snapshot. TTFT is the
+    /// router pass plus one prefill (the first prompt on a warm node);
+    /// tier traffic counts model runs on every busy node plus DDR
+    /// movement from cold switches and failover re-homing. Runs after all
+    /// timing arithmetic; a no-op without a tracker.
+    fn observe_slo(
+        &mut self,
+        report: &mut ClusterReport,
+        router: TimeSecs,
+        prefill_unit: TimeSecs,
+        output_tokens: usize,
+    ) {
+        if self.slo.is_none() {
+            return;
+        }
+        let steps = output_tokens.max(1) as f64;
+        let served: usize = report.prompts_per_node.iter().sum();
+        let busy = report.prompts_per_node.iter().filter(|&&n| n > 0).count() as f64;
+        let run_traffic =
+            self.prefill_exe.total_traffic() + self.decode_exe.total_traffic().scale(steps);
+        let router_traffic = self.prefill_exe.total_traffic()
+            + self.decode_exe.total_traffic().scale(self.router_steps);
+        let hbm_bytes = run_traffic.scale(served as f64) + router_traffic.scale(busy);
+        let moved_experts = report.expert_misses + report.rehomed_experts;
+        let ddr_bytes: Bytes = self.library.expert_bytes().scale(moved_experts as f64);
+        let tracker = self.slo.as_mut().expect("checked above");
+        tracker.record(BatchObservation {
+            latency: report.latency,
+            ttft: router + prefill_unit,
+            prompts: served,
+            tokens: served * output_tokens,
+            hbm_bytes,
+            ddr_bytes,
+        });
+        report.slo = tracker.snapshot();
     }
 
     /// Records the cluster-level view of a batch: one span per busy node
@@ -341,7 +403,8 @@ impl CoeCluster {
             }
         }
         let router = self.router_time();
-        let run = self.model_run_time(output_tokens);
+        let (prefill_unit, decode_unit) = self.unit_run_times(output_tokens);
+        let run = prefill_unit + decode_unit;
         let per_node: Vec<TimeSecs> = (0..nodes)
             .map(|i| {
                 if per_node_prompts[i] == 0 {
@@ -359,7 +422,7 @@ impl CoeCluster {
             &per_node_prompts,
             latency,
         );
-        ClusterReport {
+        let mut report = ClusterReport {
             latency,
             per_node,
             prompts_per_node: per_node_prompts,
@@ -370,7 +433,10 @@ impl CoeCluster {
             recovery: TimeSecs::ZERO,
             dropped_prompts: 0,
             metrics: self.tracer.metrics_opt(),
-        }
+            slo: None,
+        };
+        self.observe_slo(&mut report, router, prefill_unit, output_tokens);
+        report
     }
 
     /// Picks the survivor to adopt a re-homed expert: the healthy node
@@ -501,7 +567,8 @@ impl CoeCluster {
             }
         }
         let router = self.router_time();
-        let run = self.model_run_time(output_tokens);
+        let (prefill_unit, decode_unit) = self.unit_run_times(output_tokens);
+        let run = prefill_unit + decode_unit;
         let per_node: Vec<TimeSecs> = (0..nodes)
             .map(|i| {
                 if per_node_prompts[i] == 0 {
@@ -531,7 +598,7 @@ impl CoeCluster {
             &per_node_prompts,
             latency,
         );
-        Ok(ClusterReport {
+        let mut report = ClusterReport {
             latency,
             per_node,
             prompts_per_node: per_node_prompts,
@@ -542,7 +609,10 @@ impl CoeCluster {
             recovery: per_node_recovery.iter().copied().sum(),
             dropped_prompts: dropped,
             metrics: self.tracer.metrics_opt(),
-        })
+            slo: None,
+        };
+        self.observe_slo(&mut report, router, prefill_unit, output_tokens);
+        Ok(report)
     }
 
     /// Finds (re-homing if needed) and activates `expert` for this batch,
@@ -780,6 +850,7 @@ mod tests {
             recovery: TimeSecs::ZERO,
             dropped_prompts: 0,
             metrics: None,
+            slo: None,
         };
         // Mean over the two working nodes only: 25 ms -> 30/25 = 1.2.
         assert!((report.imbalance() - 1.2).abs() < 1e-12);
@@ -795,6 +866,7 @@ mod tests {
             recovery: TimeSecs::ZERO,
             dropped_prompts: 4,
             metrics: None,
+            slo: None,
         };
         assert_eq!(empty.imbalance(), 1.0);
         assert_eq!(empty.availability(), 0.0);
@@ -843,6 +915,43 @@ mod tests {
             degraded.rehomed_experts as u64
         );
         assert_eq!(metrics.counter(Counter::PromptsDropped), 0);
+    }
+
+    #[test]
+    fn cluster_slo_snapshot_rides_along_without_perturbing_timing() {
+        let mut plain =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512).unwrap();
+        let mut tracked = CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512)
+            .unwrap()
+            .with_slo(SloConfig::default());
+        let mut gen_a = PromptGenerator::new(31, 512);
+        let mut gen_b = PromptGenerator::new(31, 512);
+        let mut last = None;
+        for _ in 0..3 {
+            let want = plain.serve_batch(&gen_a.batch(12), 10);
+            let got = tracked.serve_batch(&gen_b.batch(12), 10);
+            assert_eq!(
+                want.latency, got.latency,
+                "SLO tracking is pure bookkeeping"
+            );
+            assert!(want.slo.is_none());
+            last = got.slo;
+        }
+        let slo = last.expect("tracker attached");
+        assert_eq!(slo.window_batches, 3);
+        assert!(slo.batch_latency_p50 <= slo.batch_latency_p99);
+        assert!(
+            slo.ttft_p99 <= slo.batch_latency_p50,
+            "first token lands early"
+        );
+        assert!(slo.tokens_per_sec > 0.0);
+        assert!(slo.hbm_utilization > 0.0 && slo.hbm_utilization <= 1.0);
+
+        // Degraded serving keeps feeding the same window.
+        tracked.fail_node(1);
+        let degraded = tracked.try_serve_batch(&gen_b.batch(12), 10).unwrap();
+        let slo = degraded.slo.expect("tracker still attached");
+        assert_eq!(slo.total_batches, 4);
     }
 
     #[test]

@@ -53,8 +53,15 @@ impl LatencyBreakdown {
         self.prefill + self.decode
     }
 
+    /// Fraction of the request spent switching models; 0.0 for a
+    /// zero-total breakdown (never NaN).
     pub fn switching_fraction(self) -> f64 {
-        self.switching.as_secs() / self.total().as_secs()
+        let total = self.total().as_secs();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.switching.as_secs() / total
+        }
     }
 }
 

@@ -10,10 +10,14 @@
 use crate::expert::ExpertLibrary;
 use crate::router::{Prompt, Router};
 use serde::{Deserialize, Serialize};
-use sn_arch::{Calibration, NodeSpec, Orchestration, TimeSecs};
+use sn_arch::{Bytes, Calibration, Flops, NodeSpec, Orchestration, TimeSecs};
 use sn_compiler::{Compiler, Executable, FusionPolicy};
 use sn_faults::{FaultDecision, FaultPlan, FaultSite, Recovery, RetryPolicy};
 use sn_models::{build, Phase};
+use sn_profile::{
+    BatchObservation, MachineProfile, PhaseKind, PhaseSample, ServeAttribution, SloConfig,
+    SloSnapshot, SloTracker,
+};
 use sn_runtime::coe::{CoeError, CoeRuntime, CoeRuntimeConfig, ModelBinary};
 use sn_runtime::executor::NodeExecutor;
 use sn_trace::{ArgValue, Counter, Metric, MetricsReport, Tracer, Track};
@@ -42,6 +46,10 @@ pub struct ServeReport {
     /// Aggregated trace metrics, present when a [`Tracer`] was attached
     /// via [`SambaCoeNode::with_tracer`]; `None` on untraced runs.
     pub metrics: Option<MetricsReport>,
+    /// Sliding-window serving SLO snapshot (latency percentiles, TTFT,
+    /// tokens/sec, tier utilization), present when a tracker was attached
+    /// via [`SambaCoeNode::with_slo`]; `None` otherwise.
+    pub slo: Option<SloSnapshot>,
 }
 
 impl ServeReport {
@@ -51,13 +59,25 @@ impl ServeReport {
     }
 
     /// Fraction of time spent switching models — the Figure 1 quantity.
+    /// 0.0 for a zero-total batch (never NaN).
     pub fn switching_fraction(&self) -> f64 {
-        self.switching.as_secs() / self.total().as_secs()
+        let total = self.total().as_secs();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.switching.as_secs() / total
+        }
     }
 
-    /// Fraction of time lost to fault recovery (0.0 on clean runs).
+    /// Fraction of time lost to fault recovery (0.0 on clean runs and
+    /// zero-total batches — never NaN).
     pub fn recovery_fraction(&self) -> f64 {
-        self.recovery.as_secs() / self.total().as_secs()
+        let total = self.total().as_secs();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.recovery.as_secs() / total
+        }
     }
 }
 
@@ -75,6 +95,7 @@ pub struct SambaCoeNode {
     faults: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
     tracer: Tracer,
+    slo: Option<SloTracker>,
 }
 
 impl SambaCoeNode {
@@ -137,6 +158,7 @@ impl SambaCoeNode {
             faults: None,
             retry: RetryPolicy::standard(),
             tracer: Tracer::disabled(),
+            slo: None,
         })
     }
 
@@ -175,6 +197,20 @@ impl SambaCoeNode {
         self
     }
 
+    /// Attaches a serving-SLO tracker: every serve call then feeds the
+    /// batch into a sliding window and stamps the refreshed
+    /// [`SloSnapshot`] onto its [`ServeReport`]. Pure bookkeeping over
+    /// already-computed timings — attaching a tracker never changes any
+    /// latency number.
+    #[must_use]
+    pub fn with_slo(mut self, config: SloConfig) -> Self {
+        self.slo = Some(SloTracker::new(
+            MachineProfile::from_node(self.executor.node()),
+            config,
+        ));
+        self
+    }
+
     pub fn library(&self) -> &ExpertLibrary {
         &self.library
     }
@@ -184,14 +220,16 @@ impl SambaCoeNode {
         self.orch = orch;
     }
 
-    /// Time for one model run: prefill plus `output_tokens` decode steps.
-    fn model_run_time(&self, output_tokens: usize) -> TimeSecs {
+    /// Unit timings for one model run: (prefill, `output_tokens`-step
+    /// decode loop). The prefill part alone is the first-token boundary
+    /// the SLO layer's TTFT builds on.
+    fn unit_run_times(&self, output_tokens: usize) -> (TimeSecs, TimeSecs) {
         let prefill = self.executor.run(&self.prefill_exe, self.orch).total;
         let decode = self
             .executor
             .run_decode_loop(&self.decode_exe, self.orch, output_tokens.max(1))
             .total;
-        prefill + decode
+        (prefill, decode)
     }
 
     /// Router cost: a prefill over the batch plus a couple of decode steps
@@ -201,6 +239,113 @@ impl SambaCoeNode {
         let prefill = self.executor.run(&self.prefill_exe, self.orch).total;
         let step = self.executor.run(&self.decode_exe, self.orch).total;
         prefill + step * self.calib.router_equiv_decode_steps
+    }
+
+    /// Reconstructs per-phase resource demand for one served batch: where
+    /// its time went (router / switching / prefill / decode / recovery)
+    /// and what each phase computed and moved. Pure function of the
+    /// compiled executables and the report — it never re-runs the
+    /// executor, so calling it cannot perturb traces or timings. The
+    /// execution component splits between prefill and decode by the
+    /// executables' own execution-time ratio.
+    pub fn phase_samples(&self, report: &ServeReport, output_tokens: usize) -> Vec<PhaseSample> {
+        let steps = output_tokens.max(1) as f64;
+        let n = report.assignments.len() as f64;
+        let prefill_traffic = self.prefill_exe.total_traffic();
+        let prefill_flops = self.prefill_exe.total_flops();
+        let decode_traffic = self.decode_exe.total_traffic().scale(steps);
+        let decode_flops = self.decode_exe.total_flops() * steps;
+        let prefill_pure = self.prefill_exe.execution_time().as_secs();
+        let decode_pure = self.decode_exe.execution_time().as_secs() * steps;
+        let unit_pure = prefill_pure + decode_pure;
+        let prefill_share = if unit_pure > 0.0 {
+            prefill_pure / unit_pure
+        } else {
+            0.0
+        };
+        // Expert copies stream out of DDR and into HBM: the same bytes
+        // load both tiers, and the slower DDR side is what binds (§V-B).
+        let switch_bytes = self
+            .library
+            .expert_bytes()
+            .scale(report.expert_misses as f64);
+        let router_steps = self.calib.router_equiv_decode_steps;
+        vec![
+            PhaseSample {
+                kind: PhaseKind::Router,
+                time: report.router,
+                flops: prefill_flops + self.decode_exe.total_flops() * router_steps,
+                hbm_bytes: prefill_traffic + self.decode_exe.total_traffic().scale(router_steps),
+                ddr_bytes: Bytes::ZERO,
+            },
+            PhaseSample {
+                kind: PhaseKind::Switching,
+                time: report.switching,
+                flops: Flops::ZERO,
+                hbm_bytes: switch_bytes,
+                ddr_bytes: switch_bytes,
+            },
+            PhaseSample {
+                kind: PhaseKind::Prefill,
+                time: report.execution * prefill_share,
+                flops: prefill_flops * n,
+                hbm_bytes: prefill_traffic.scale(n),
+                ddr_bytes: Bytes::ZERO,
+            },
+            PhaseSample {
+                kind: PhaseKind::Decode,
+                time: report.execution * (1.0 - prefill_share),
+                flops: decode_flops * n,
+                hbm_bytes: decode_traffic.scale(n),
+                ddr_bytes: Bytes::ZERO,
+            },
+            PhaseSample {
+                kind: PhaseKind::Recovery,
+                time: report.recovery,
+                flops: Flops::ZERO,
+                hbm_bytes: Bytes::ZERO,
+                ddr_bytes: Bytes::ZERO,
+            },
+        ]
+    }
+
+    /// Roofline bottleneck attribution of one served batch against this
+    /// node's hardware profile: per-phase time shares, compute/HBM/DDR
+    /// classification, attained-vs-attainable FLOP rate, and per-tier
+    /// bandwidth utilization.
+    pub fn profile(&self, report: &ServeReport, output_tokens: usize) -> ServeAttribution {
+        ServeAttribution::from_samples(
+            MachineProfile::from_node(self.executor.node()),
+            self.phase_samples(report, output_tokens),
+        )
+    }
+
+    /// Feeds one served batch into the SLO tracker (when attached) and
+    /// stamps the report with the refreshed window snapshot. Runs after
+    /// all timing arithmetic; with no tracker it is a no-op and the
+    /// report's `slo` stays `None`.
+    fn observe_slo(
+        &mut self,
+        report: &mut ServeReport,
+        prefill_unit: TimeSecs,
+        output_tokens: usize,
+    ) {
+        if self.slo.is_none() {
+            return;
+        }
+        let samples = self.phase_samples(report, output_tokens);
+        let hbm_bytes: Bytes = samples.iter().map(|s| s.hbm_bytes).sum();
+        let ddr_bytes: Bytes = samples.iter().map(|s| s.ddr_bytes).sum();
+        let tracker = self.slo.as_mut().expect("checked above");
+        tracker.record(BatchObservation {
+            latency: report.total(),
+            ttft: report.router + report.switching + prefill_unit,
+            prompts: report.assignments.len(),
+            tokens: report.assignments.len() * output_tokens,
+            hbm_bytes,
+            ddr_bytes,
+        });
+        report.slo = tracker.snapshot();
     }
 
     /// Records the serving-level view of a batch on [`Track::Coe`]: one
@@ -256,7 +401,8 @@ impl SambaCoeNode {
         let n = self.library.len();
         let assignments: Vec<usize> = prompts.iter().map(|p| self.router.route(p, n)).collect();
         let router = self.router_time();
-        let run = self.model_run_time(output_tokens);
+        let (prefill_unit, decode_unit) = self.unit_run_times(output_tokens);
+        let run = prefill_unit + decode_unit;
         let mut hits = 0;
         let mut misses = 0;
         let mut exposed_switching = TimeSecs::ZERO;
@@ -292,7 +438,7 @@ impl SambaCoeNode {
             run,
             TimeSecs::ZERO,
         );
-        ServeReport {
+        let mut report = ServeReport {
             router,
             switching: exposed_switching,
             execution,
@@ -302,7 +448,10 @@ impl SambaCoeNode {
             expert_misses: misses,
             assignments,
             metrics: self.tracer.metrics_opt(),
-        }
+            slo: None,
+        };
+        self.observe_slo(&mut report, prefill_unit, output_tokens);
+        report
     }
 
     /// Serves a batch of prompts, producing `output_tokens` per prompt.
@@ -330,7 +479,8 @@ impl SambaCoeNode {
             switching += outcome.switch_time;
         }
         // Each (prompt, expert) pair runs sequentially.
-        let run = self.model_run_time(output_tokens);
+        let (prefill_unit, decode_unit) = self.unit_run_times(output_tokens);
+        let run = prefill_unit + decode_unit;
         let execution = run * prompts.len() as f64;
         self.trace_batch(
             "batch",
@@ -340,7 +490,7 @@ impl SambaCoeNode {
             run,
             TimeSecs::ZERO,
         );
-        ServeReport {
+        let mut report = ServeReport {
             router,
             switching,
             execution,
@@ -350,7 +500,10 @@ impl SambaCoeNode {
             expert_misses: misses,
             assignments,
             metrics: self.tracer.metrics_opt(),
-        }
+            slo: None,
+        };
+        self.observe_slo(&mut report, prefill_unit, output_tokens);
+        report
     }
 
     /// Fault-aware [`SambaCoeNode::serve_batch`]: consults the attached
@@ -437,7 +590,8 @@ impl SambaCoeNode {
         // Execution: one socket-fabric consultation per prompt. The factor
         // sum keeps the fault-free arithmetic identical to `serve_batch`
         // (`run * n`, not a float summation loop).
-        let run = self.model_run_time(output_tokens);
+        let (prefill_unit, decode_unit) = self.unit_run_times(output_tokens);
+        let run = prefill_unit + decode_unit;
         let mut factor_sum = 0.0;
         for _ in prompts {
             let (factor, exec_rec) = self
@@ -474,7 +628,7 @@ impl SambaCoeNode {
             run,
             recovery.time,
         );
-        Ok(ServeReport {
+        let mut report = ServeReport {
             router,
             switching,
             execution,
@@ -484,7 +638,10 @@ impl SambaCoeNode {
             expert_misses: misses,
             assignments,
             metrics: self.tracer.metrics_opt(),
-        })
+            slo: None,
+        };
+        self.observe_slo(&mut report, prefill_unit, output_tokens);
+        Ok(report)
     }
 }
 
@@ -692,6 +849,86 @@ mod tests {
             u64::from(report.retries),
             "router + load + socket retries are each counted exactly once"
         );
+    }
+
+    #[test]
+    fn slo_snapshot_rides_along_without_perturbing_timing() {
+        let mut plain = coe(150);
+        let mut tracked = coe(150).with_slo(SloConfig::default());
+        let mut gen_a = PromptGenerator::new(5, 1024);
+        let mut gen_b = PromptGenerator::new(5, 1024);
+        let mut last = None;
+        for _ in 0..4 {
+            let batch_a = gen_a.batch(4);
+            let batch_b = gen_b.batch(4);
+            let want = plain.serve_batch(&batch_a, 20);
+            let got = tracked.serve_batch(&batch_b, 20);
+            assert_eq!(
+                want.total(),
+                got.total(),
+                "SLO tracking is pure bookkeeping"
+            );
+            assert!(want.slo.is_none(), "no tracker, no snapshot");
+            last = got.slo;
+        }
+        let slo = last.expect("tracker attached");
+        assert_eq!(slo.window_batches, 4);
+        assert_eq!(slo.total_batches, 4);
+        assert!(slo.batch_latency_p50 <= slo.batch_latency_p99);
+        assert!(slo.ttft_p50 <= slo.ttft_p99);
+        assert!(
+            slo.ttft_p99 < slo.batch_latency_p50,
+            "first token lands early"
+        );
+        assert!(slo.tokens_per_sec > 0.0);
+        assert!(slo.hbm_utilization > 0.0 && slo.hbm_utilization <= 1.0);
+        assert!(slo.ddr_utilization >= 0.0 && slo.ddr_utilization <= 1.0);
+    }
+
+    #[test]
+    fn profile_classifies_phases_as_the_paper_says() {
+        let mut node = coe(150);
+        let batch = PromptGenerator::new(0x5eed, 1024).batch(8);
+        let report = node.serve_batch(&batch, 20);
+        let attribution = node.profile(&report, 20);
+        // §V-B / §VI-B: expert switching is DDR-bandwidth-bound, decode is
+        // HBM-bandwidth-bound, fused prefill is compute-bound.
+        use sn_profile::Bound;
+        assert_eq!(
+            attribution.phase(PhaseKind::Switching).unwrap().bound,
+            Bound::DdrBandwidth
+        );
+        assert_eq!(
+            attribution.phase(PhaseKind::Decode).unwrap().bound,
+            Bound::HbmBandwidth
+        );
+        assert_eq!(
+            attribution.phase(PhaseKind::Prefill).unwrap().bound,
+            Bound::Compute
+        );
+        let sum: f64 = attribution.phases.iter().map(|p| p.fraction).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "fractions partition the batch");
+        assert!((attribution.total.as_secs() - report.total().as_secs()).abs() < 1e-12);
+        // Determinism: same report, same attribution.
+        assert_eq!(attribution, node.profile(&report, 20));
+    }
+
+    #[test]
+    fn fractions_of_a_zero_total_report_are_zero_not_nan() {
+        let report = ServeReport {
+            router: TimeSecs::ZERO,
+            switching: TimeSecs::ZERO,
+            execution: TimeSecs::ZERO,
+            recovery: TimeSecs::ZERO,
+            retries: 0,
+            expert_hits: 0,
+            expert_misses: 0,
+            assignments: vec![],
+            metrics: None,
+            slo: None,
+        };
+        assert_eq!(report.switching_fraction(), 0.0);
+        assert_eq!(report.recovery_fraction(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Analysis layer over the observability stack: turns raw metrics and
+//! timings into *"which resource binds this phase"* answers.
+//!
+//! `sn-trace` (PR 2) records what happened — events, counters, latency
+//! histograms. This crate interprets those records against the hardware
+//! model in `sn-arch`:
+//!
+//! - [`attribution`] — hierarchical time attribution per serving phase
+//!   (router / switching / prefill / decode / recovery) with attained-vs-
+//!   attainable FLOP rate and per-tier bandwidth utilization, classifying
+//!   each phase as compute-, HBM-, DDR-, or switching-bound. This is the
+//!   quantitative form of the paper's Figures 1/9/12 argument: CoE serving
+//!   is memory-wall-bound, and which wall depends on the phase.
+//! - [`slo`] — live serving SLO metrics: sliding-window p50/p95/p99 batch
+//!   latency, time-to-first-token, tokens/sec, and per-tier utilization
+//!   gauges, surfaced on `ServeReport`/`ClusterReport` by `sn-coe`.
+//! - [`snapshot`] — machine-readable benchmark snapshots with per-metric
+//!   tolerances, the continuous-benchmark harness behind
+//!   `repro --bench-json` / `scripts/bench_check.sh`.
+//!
+//! Everything here is a pure function of deterministic simulator output,
+//! so two same-seed runs produce identical attributions, SLO snapshots,
+//! and benchmark JSON.
+//!
+//! # Example
+//!
+//! ```
+//! use sn_arch::prelude::*;
+//! use sn_profile::{Bound, MachineProfile, PhaseKind, PhaseSample, ServeAttribution};
+//!
+//! let machine = MachineProfile::from_node(&NodeSpec::sn40l_node());
+//! // A decode-like phase: lots of bytes from HBM, few FLOPs per byte.
+//! let decode = PhaseSample {
+//!     kind: PhaseKind::Decode,
+//!     time: TimeSecs::from_millis(20.0),
+//!     flops: Flops::from_tflops(0.1),
+//!     hbm_bytes: Bytes::from_gb(100.0),
+//!     ddr_bytes: Bytes::ZERO,
+//! };
+//! let attribution = ServeAttribution::from_samples(machine, vec![decode]);
+//! assert_eq!(attribution.phase(PhaseKind::Decode).unwrap().bound, Bound::HbmBandwidth);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod slo;
+pub mod snapshot;
+
+pub use attribution::{
+    request_latency_quantiles, Bound, MachineProfile, PhaseAttribution, PhaseKind, PhaseSample,
+    RequestQuantiles, ServeAttribution,
+};
+pub use slo::{BatchObservation, SloConfig, SloSnapshot, SloTracker};
+pub use snapshot::{
+    BenchMetric, BenchSnapshot, CompareReport, CompareRow, CompareStatus, MetricValue,
+};

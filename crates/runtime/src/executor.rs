@@ -94,6 +94,27 @@ impl NodeExecutor {
         &self.node
     }
 
+    /// Roofline utilization of one completed [`NodeExecutor::run`]:
+    /// attained FLOP rate (the executable's FLOPs over the report's
+    /// total, launch overheads included) against what the node's
+    /// roofline admits at the executable's operational intensity. 0.0
+    /// for FLOP-free or zero-time runs; launch-overhead-dominated runs
+    /// score low even when the pure kernel time sits on the roof — that
+    /// gap is exactly what hardware orchestration attacks (§VI-A). For
+    /// decode loops pass the single-step report, not the loop total
+    /// (the executable's FLOPs count one step).
+    pub fn roofline_utilization(&self, exe: &Executable, report: &ExecutionReport) -> f64 {
+        if report.total.is_zero() {
+            return 0.0;
+        }
+        let attained = sn_arch::FlopRate::from_flops_per_s(
+            exe.total_flops().as_f64() / report.total.as_secs(),
+        );
+        self.node
+            .roofline()
+            .utilization(attained, exe.total_flops().intensity(exe.total_traffic()))
+    }
+
     /// [`NodeExecutor::run`] without trace recording — shared by the
     /// public paths so decode loops don't double-count their inner run.
     fn run_untraced(&self, exe: &Executable, orch: Orchestration) -> ExecutionReport {
@@ -389,6 +410,33 @@ mod tests {
             node.run(&exe, Orchestration::Hardware),
             traced.run(&exe, Orchestration::Hardware)
         );
+    }
+
+    #[test]
+    fn roofline_utilization_brackets_and_orders() {
+        // Memory-bound decode: nonzero but far from the roof isn't
+        // expected — attained tracks attainable, so utilization is high
+        // under HO and drops once launch overheads dilute it under SO.
+        let (exe, node) = exec_llama(Phase::Decode { past_tokens: 4096 }, FusionPolicy::Spatial);
+        let ho = node.run(&exe, Orchestration::Hardware);
+        let so = node.run(&exe, Orchestration::Software);
+        let u_ho = node.roofline_utilization(&exe, &ho);
+        let u_so = node.roofline_utilization(&exe, &so);
+        assert!(u_ho > 0.0 && u_ho <= 1.0, "HO utilization {u_ho}");
+        assert!(u_so > 0.0 && u_so <= 1.0, "SO utilization {u_so}");
+        assert!(
+            u_ho > u_so,
+            "launch overheads pull utilization off the roof: {u_ho} vs {u_so}"
+        );
+        let zero = ExecutionReport {
+            total: TimeSecs::ZERO,
+            exec: TimeSecs::ZERO,
+            launch: TimeSecs::ZERO,
+            program_load: TimeSecs::ZERO,
+            launches: 0,
+            distinct_programs: 0,
+        };
+        assert_eq!(node.roofline_utilization(&exe, &zero), 0.0);
     }
 
     #[test]

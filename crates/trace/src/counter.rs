@@ -339,6 +339,18 @@ impl Histogram {
         }
     }
 
+    /// Percentile estimate in nanoseconds: the public quantile API used by
+    /// report printers and the `sn-profile` analysis layer.
+    ///
+    /// Semantics are those of [`Histogram::quantile_upper_ns`]: the
+    /// exclusive upper bound of the power-of-two bucket holding rank
+    /// `ceil(q * count)` — a conservative (never under-reporting) estimate
+    /// whose error is bounded by the bucket width. `q` is clamped to
+    /// `[0, 1]`; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_upper_ns(q)
+    }
+
     /// Upper bound (exclusive, in ns) of the bucket holding the requested
     /// quantile `q` in `[0, 1]` — a conservative percentile estimate with
     /// power-of-two resolution. Returns 0 when empty.
@@ -429,6 +441,110 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min_ns(), 10);
         assert_eq!(a.max_ns(), 1000);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut filled = Histogram::new();
+        for v in [5, 50, 500] {
+            filled.record(v);
+        }
+        let reference = filled.clone();
+        // Merging an empty histogram in changes nothing — in particular the
+        // empty side's min_ns sentinel (u64::MAX) must not leak.
+        filled.merge(&Histogram::new());
+        assert_eq!(filled, reference);
+        // Merging into an empty histogram reproduces the other side.
+        let mut empty = Histogram::new();
+        empty.merge(&reference);
+        assert_eq!(empty, reference);
+        assert_eq!(empty.min_ns(), 5);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let xs = [0u64, 1, 2, 1023, 1024, 65_000];
+        let ys = [3u64, 1024, 2048, u64::MAX];
+        let mut merged = Histogram::new();
+        for &v in &xs {
+            merged.record(v);
+        }
+        let mut other = Histogram::new();
+        for &v in &ys {
+            other.record(v);
+        }
+        merged.merge(&other);
+        let mut direct = Histogram::new();
+        for &v in xs.iter().chain(&ys) {
+            direct.record(v);
+        }
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_sample_bounds_it_at_every_q() {
+        let mut h = Histogram::new();
+        h.record(700); // bucket [512, 1024) -> upper bound 1024
+        for q in [0.0, 0.01, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 1024);
+        }
+        // A lone zero lives in bucket 0, reported as 0.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundaries() {
+        // 1024 = 2^10 is the *inclusive lower* edge of bucket 11
+        // ([1024, 2048)), while 1023 still sits in bucket 10 ([512, 1024)).
+        let mut below = Histogram::new();
+        below.record(1023);
+        assert_eq!(below.quantile(1.0), 1024);
+        let mut at = Histogram::new();
+        at.record(1024);
+        assert_eq!(at.quantile(1.0), 2048);
+        // q is clamped: out-of-range requests behave like 0.0 / 1.0.
+        assert_eq!(at.quantile(-1.0), at.quantile(0.0));
+        assert_eq!(at.quantile(2.0), at.quantile(1.0));
+    }
+
+    #[test]
+    fn u64_saturation_stays_well_defined() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum_ns(), u64::MAX);
+        assert_eq!(h.max_ns(), u64::MAX);
+        // Values beyond the last bucket clamp into it, so the quantile
+        // reports that bucket's upper bound, 1 << (HISTOGRAM_BUCKETS - 1);
+        // max_ns still holds the exact extreme.
+        assert_eq!(h.quantile(1.0), 1u64 << (HISTOGRAM_BUCKETS - 1));
+        let mut merged = Histogram::new();
+        merged.record(u64::MAX);
+        merged.merge(&h);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum_ns(), u64::MAX, "merge saturates too");
+    }
+
+    #[test]
+    fn quantile_matches_quantile_upper_ns() {
+        let mut h = Histogram::new();
+        for v in [3, 17, 900, 4096, 100_000] {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), h.quantile_upper_ns(q));
+        }
     }
 
     proptest! {

@@ -85,8 +85,8 @@ impl MetricsReport {
                     m.name(),
                     h.count(),
                     h.mean_ns(),
-                    h.quantile_upper_ns(0.5),
-                    h.quantile_upper_ns(0.99),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
                     h.max_ns(),
                 ));
             }

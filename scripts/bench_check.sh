@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Continuous-benchmark regression gate. Regenerates the tracked-metric
+# snapshot (or takes a pre-generated one as $1) and compares it against
+# the committed BENCH_PR3.json baseline; exits non-zero if any tracked
+# metric drifts beyond its tolerance. CI runs exactly this script.
+#
+# Usage:
+#   scripts/bench_check.sh                  # regenerate current snapshot in-process
+#   scripts/bench_check.sh current.json     # compare a pre-generated snapshot
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_PR3.json
+if [[ ! -f "$BASELINE" ]]; then
+  echo "missing baseline $BASELINE — generate one with: cargo run --release -p sn-bench --bin repro -- --bench-json $BASELINE" >&2
+  exit 1
+fi
+
+echo "==> cargo build --release -p sn-bench (repro)"
+cargo build --release -q -p sn-bench --bin repro
+
+echo "==> repro --bench-check $BASELINE ${1:-}"
+./target/release/repro --bench-check "$BASELINE" "$@"

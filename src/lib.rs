@@ -21,6 +21,7 @@
 //! | [`coe`] (`sn-coe`) | Samba-CoE: experts, router, serving, platform comparison |
 //! | [`faults`] (`sn-faults`) | Seeded fault injection, retry policies, degraded-mode serving |
 //! | [`trace`] (`sn-trace`) | Structured event tracing, typed counters, Perfetto timeline export |
+//! | [`profile`] (`sn-profile`) | Roofline bottleneck attribution, serving SLO metrics, benchmark snapshots |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,7 @@ pub use sn_dataflow as dataflow;
 pub use sn_faults as faults;
 pub use sn_memsim as memsim;
 pub use sn_models as models;
+pub use sn_profile as profile;
 pub use sn_rdusim as rdusim;
 pub use sn_runtime as runtime;
 pub use sn_trace as trace;

@@ -1,0 +1,109 @@
+//! Profiling guarantees: the roofline attribution reproduces the paper's
+//! bottleneck story deterministically, the SLO dashboard rides along
+//! without perturbing timing, and the benchmark snapshot round-trips and
+//! catches regressions.
+
+use samba_coe::coe::{ExpertLibrary, PromptGenerator, SambaCoeNode};
+use samba_coe::profile::{BenchSnapshot, Bound, CompareStatus, PhaseKind, SloConfig};
+use samba_coe::trace::Tracer;
+use sn_arch::NodeSpec;
+use sn_bench::profile::{bench_snapshot, profiled_fig12_run};
+
+/// The Figure 12 point must classify exactly as §V-B/§VI-B describe:
+/// expert switching starves on DDR bandwidth, token-by-token decode on
+/// HBM bandwidth, and fused prefill runs up against the compute roof.
+#[test]
+fn attribution_reproduces_the_papers_bottleneck_story() {
+    let run = profiled_fig12_run(150, 8, 2);
+    let bound = |k| run.attribution.phase(k).expect("phase sampled").bound;
+    assert_eq!(bound(PhaseKind::Switching), Bound::DdrBandwidth);
+    assert_eq!(bound(PhaseKind::Decode), Bound::HbmBandwidth);
+    assert_eq!(bound(PhaseKind::Prefill), Bound::Compute);
+    let fractions: f64 = run.attribution.phases.iter().map(|p| p.fraction).sum();
+    assert!(
+        (fractions - 1.0).abs() < 1e-9,
+        "fractions partition the batch"
+    );
+    assert_eq!(run.attribution.total, run.report.total());
+}
+
+/// Same seed, same parameters — the attribution, SLO snapshot, and
+/// serialized benchmark snapshot must be bit-identical across runs.
+#[test]
+fn profiling_is_deterministic() {
+    let a = profiled_fig12_run(150, 8, 3);
+    let b = profiled_fig12_run(150, 8, 3);
+    assert_eq!(a.attribution, b.attribution);
+    assert_eq!(a.report.slo, b.report.slo);
+    assert_eq!(bench_snapshot().to_json(), bench_snapshot().to_json());
+}
+
+/// Attaching the SLO tracker must not change a single reported time:
+/// observation happens strictly after the timing arithmetic.
+#[test]
+fn slo_tracking_does_not_perturb_serving_latency() {
+    let spec = NodeSpec::sn40l_node();
+    let mut plain = SambaCoeNode::new(spec.clone(), ExpertLibrary::new(150), 1024);
+    let mut tracked = SambaCoeNode::new(spec, ExpertLibrary::new(150), 1024)
+        .with_tracer(Tracer::enabled())
+        .with_slo(SloConfig::default());
+    let mut gen_a = PromptGenerator::new(0x5eed, 1024);
+    let mut gen_b = PromptGenerator::new(0x5eed, 1024);
+    for _ in 0..3 {
+        let a = plain.serve_batch(&gen_a.batch(8), 20);
+        let b = tracked.serve_batch(&gen_b.batch(8), 20);
+        assert_eq!(a.total(), b.total(), "SLO tracking must be free");
+        assert_eq!(a.router, b.router);
+        assert_eq!(a.switching, b.switching);
+        assert_eq!(a.execution, b.execution);
+        let slo = b.slo.expect("tracker attached");
+        assert!(slo.batch_latency_p50 <= slo.batch_latency_p99);
+        assert!(slo.ttft_p99 <= slo.batch_latency_p99);
+    }
+}
+
+/// The snapshot must survive its own JSON (parse ∘ serialize = identity),
+/// self-compare clean, and flag an injected drift as a regression.
+#[test]
+fn snapshot_roundtrips_and_catches_regressions() {
+    let base = bench_snapshot();
+    let parsed = BenchSnapshot::from_json(&base.to_json()).expect("own JSON parses");
+    assert_eq!(base, parsed);
+    assert!(base.compare(&parsed).passed(), "identity compare is clean");
+
+    let mut drifted = base.clone();
+    let m = drifted
+        .metrics
+        .iter_mut()
+        .find(|m| m.key == "fig12.bs8.sn40l_ms")
+        .expect("tracked metric present");
+    if let samba_coe::profile::MetricValue::Num(v) = &mut m.value {
+        *v *= 1.10; // 10% drift against a 2% tolerance
+    }
+    let report = base.compare(&drifted);
+    assert!(!report.passed());
+    assert!(report
+        .rows
+        .iter()
+        .any(|r| r.key == "fig12.bs8.sn40l_ms" && r.status == CompareStatus::Regressed));
+}
+
+/// A metric deleted from the current run is a failure (Missing), while a
+/// metric added to the current run is informational (New).
+#[test]
+fn missing_metrics_fail_and_new_metrics_do_not() {
+    let base = bench_snapshot();
+    let mut current = base.clone();
+    current.metrics.retain(|m| m.key != "serve.total_ms");
+    current.push_num("brand.new.metric", 1.0, "x", 0.0);
+    let report = base.compare(&current);
+    assert_eq!(report.regressions(), 1, "only the missing metric fails");
+    assert!(report
+        .rows
+        .iter()
+        .any(|r| r.key == "serve.total_ms" && r.status == CompareStatus::Missing));
+    assert!(report
+        .rows
+        .iter()
+        .any(|r| r.key == "brand.new.metric" && r.status == CompareStatus::New));
+}
