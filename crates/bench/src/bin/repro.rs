@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|--faults|all]
+//! repro serve
 //! repro --trace [out.json]
 //! repro --profile
 //! repro --bench-json [out.json]
@@ -20,6 +21,10 @@
 //! utilization, compute/HBM/DDR/switching classification) plus the
 //! serving SLO dashboard (sliding-window latency/TTFT percentiles,
 //! tokens/sec, tier utilization gauges).
+//!
+//! `serve` sweeps offered load (Poisson arrivals) through the online
+//! continuous-batching scheduler and prints the throughput–latency
+//! curve, calling out the saturation knee.
 //!
 //! `--bench-json` writes the continuous-benchmark snapshot — every
 //! tracked key figure with its tolerance — for `scripts/bench_check.sh`.
@@ -190,6 +195,42 @@ fn extensions() {
     println!("{:<12} {:>12}", "HBM (GiB)", "miss rate");
     for (gib, miss) in sn_bench::experiments::hbm_sensitivity() {
         println!("{gib:<12} {:>11.1}%", miss * 100.0);
+    }
+}
+
+fn run_serve() {
+    use sn_bench::serve;
+    hr(&format!(
+        "ONLINE SERVING: Poisson offered-load sweep ({} experts, {} requests, \
+         max in-flight {})",
+        serve::SWEEP_EXPERTS,
+        serve::SWEEP_REQUESTS,
+        serve::SWEEP_MAX_IN_FLIGHT
+    ));
+    println!(
+        "{:<10} {:>10} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "Offered", "Delivered", "Waves", "Queue p95", "TTFT p95", "Lat p50", "Lat p95", "Tokens/s"
+    );
+    let points = serve::serve_sweep();
+    for p in &points {
+        println!(
+            "{:<10} {:>10} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10.1}",
+            format!("{:.0} rps", p.offered_rps),
+            format!("{:.1} rps", p.delivered_rps),
+            p.waves,
+            p.queue_delay_p95.to_string(),
+            p.ttft_p95.to_string(),
+            p.latency_p50.to_string(),
+            p.latency_p95.to_string(),
+            p.tokens_per_sec,
+        );
+    }
+    match serve::knee_rps(&points) {
+        Some(knee) => println!(
+            "\nsaturation knee at ~{knee:.0} rps offered: beyond it the queue, not the \
+             arrival process, sets the pace"
+        ),
+        None => println!("\nno saturation inside the sweep: every offered rate was absorbed"),
     }
 }
 
@@ -376,7 +417,7 @@ fn main() {
             return;
         }
         "bench-json" | "--bench-json" => {
-            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR3.json");
+            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR4.json");
             run_bench_json(path);
             return;
         }
@@ -402,6 +443,7 @@ fn main() {
         "ablations" => run_ablations(),
         "extensions" => extensions(),
         "faults" | "--faults" => run_faults(),
+        "serve" | "--serve" => run_serve(),
         "all" => {
             table1();
             table2();
@@ -413,13 +455,15 @@ fn main() {
             table3();
             extensions();
             run_faults();
+            run_serve();
             run_ablations();
         }
         other => {
+            eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "unknown experiment '{other}'; expected one of table1|table2|fig1|fig10|\
-                 fig11|fig12|fig13|table3|ablations|extensions|--faults|--trace [out.json]|\
-                 --profile|--bench-json [out.json]|--bench-check <baseline> [current]|all"
+                "usage: repro [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|\
+                 extensions|serve|--faults|--trace [out.json]|--profile|\
+                 --bench-json [out.json]|--bench-check <baseline> [current]|all]"
             );
             std::process::exit(2);
         }

@@ -9,6 +9,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod faults;
 pub mod profile;
+pub mod serve;
 pub mod trace;
 pub mod validate;
 

@@ -10,8 +10,9 @@
 //! [`bench_snapshot`] folds the tracked key figures — Figure 1 switching
 //! fractions, the Figure 12 anchor point, Table III speedups, phase
 //! attribution, counters, and SLO percentiles — into a
-//! [`BenchSnapshot`] with per-metric tolerances. `scripts/bench_check.sh`
-//! compares a fresh snapshot against the committed `BENCH_PR3.json`
+//! [`BenchSnapshot`] with per-metric tolerances — including the online
+//! serving sweep from [`crate::serve`]. `scripts/bench_check.sh`
+//! compares a fresh snapshot against the committed `BENCH_PR4.json`
 //! baseline and fails CI on any out-of-tolerance drift.
 
 use crate::experiments::{self, PROMPT_TOKENS};
@@ -205,6 +206,31 @@ pub fn bench_snapshot() -> BenchSnapshot {
     snap.push_num("slo.tokens_per_sec", slo.tokens_per_sec, "tokens/s", 0.02);
     snap.push_num("slo.hbm_utilization", slo.hbm_utilization, "fraction", 0.02);
     snap.push_num("slo.ddr_utilization", slo.ddr_utilization, "fraction", 0.02);
+
+    // Online serving sweep: one latency/throughput pair per offered rate,
+    // plus the saturation knee. Deterministic seeded arrivals keep the 2%
+    // tolerance honest; wave counts are exact integers.
+    let points = crate::serve::serve_sweep();
+    for p in &points {
+        let key = format!("serve_online.rps{:.0}", p.offered_rps);
+        snap.push_num(
+            &format!("{key}.latency_p95_ms"),
+            p.latency_p95.as_millis(),
+            "ms",
+            0.02,
+        );
+        snap.push_num(
+            &format!("{key}.tokens_per_sec"),
+            p.tokens_per_sec,
+            "tokens/s",
+            0.02,
+        );
+        snap.push_num(&format!("{key}.waves"), p.waves as f64, "waves", 0.0);
+    }
+    match crate::serve::knee_rps(&points) {
+        Some(knee) => snap.push_num("serve_online.knee_rps", knee, "rps", 0.0),
+        None => snap.push_text("serve_online.knee_rps", "none"),
+    }
     snap
 }
 

@@ -1,0 +1,44 @@
+//! CLI contract tests for the `repro` binary, run against the built
+//! executable via `std::process::Command`. These lock down the
+//! machine-facing surface: bad invocations must fail loudly (non-zero
+//! exit, a `usage:` line on stderr) instead of silently printing the
+//! default experiment set.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_mode_exits_nonzero_with_usage() {
+    let out = repro().arg("figure99").output().expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown mode is exit code 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("figure99"),
+        "stderr names the bad mode: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "stderr carries a usage line: {stderr}"
+    );
+    assert!(
+        stderr.contains("serve"),
+        "usage line advertises the serve mode: {stderr}"
+    );
+    assert!(out.stdout.is_empty(), "nothing on stdout for a bad mode");
+}
+
+#[test]
+fn bench_check_without_baseline_is_a_usage_error() {
+    let out = repro()
+        .arg("--bench-check")
+        .output()
+        .expect("repro binary runs");
+    assert_ne!(out.status.code(), Some(0), "missing baseline must fail");
+    assert!(
+        !out.stderr.is_empty(),
+        "missing baseline explains itself on stderr"
+    );
+}

@@ -7,6 +7,10 @@
 //!   systems evaluation, so routing is a seeded hash over prompt domains);
 //! - [`serving`]: the end-to-end pipeline on the SN40L node — run the
 //!   router, switch the expert DDR→HBM, run the expert (Figure 9);
+//! - [`scheduler`]: online serving — seeded arrival processes, an
+//!   admission queue, and iteration-level continuous batching that
+//!   degenerates bit-identically to [`serving`]'s batch path on a
+//!   t = 0 burst;
 //! - [`comparison`]: latency and breakdown models for SN40L vs DGX
 //!   A100/H100 (Figures 1 and 12, Table III).
 //!
@@ -26,6 +30,7 @@ pub mod comparison;
 pub mod expert;
 pub mod generation;
 pub mod router;
+pub mod scheduler;
 pub mod serving;
 pub mod workload;
 
@@ -34,5 +39,8 @@ pub use comparison::{request_latency, LatencyBreakdown, Platform};
 pub use expert::{ExpertInfo, ExpertLibrary};
 pub use generation::GenerationModel;
 pub use router::{Domain, Prompt, PromptGenerator, Router};
+pub use scheduler::{
+    ArrivalPattern, ArrivalProcess, OnlineReport, OnlineRequest, RequestRecord, SchedulerConfig,
+};
 pub use serving::{SambaCoeNode, ServeReport};
 pub use workload::{TraceConfig, TraceGenerator};

@@ -84,18 +84,18 @@ impl ServeReport {
 /// A Samba-CoE deployment on one SN40L node.
 #[derive(Debug)]
 pub struct SambaCoeNode {
-    library: ExpertLibrary,
-    router: Router,
-    runtime: CoeRuntime,
-    executor: NodeExecutor,
-    prefill_exe: Executable,
-    decode_exe: Executable,
-    orch: Orchestration,
-    calib: Calibration,
-    faults: Option<Arc<FaultPlan>>,
-    retry: RetryPolicy,
-    tracer: Tracer,
-    slo: Option<SloTracker>,
+    pub(crate) library: ExpertLibrary,
+    pub(crate) router: Router,
+    pub(crate) runtime: CoeRuntime,
+    pub(crate) executor: NodeExecutor,
+    pub(crate) prefill_exe: Executable,
+    pub(crate) decode_exe: Executable,
+    pub(crate) orch: Orchestration,
+    pub(crate) calib: Calibration,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) tracer: Tracer,
+    pub(crate) slo: Option<SloTracker>,
 }
 
 impl SambaCoeNode {
@@ -223,7 +223,7 @@ impl SambaCoeNode {
     /// Unit timings for one model run: (prefill, `output_tokens`-step
     /// decode loop). The prefill part alone is the first-token boundary
     /// the SLO layer's TTFT builds on.
-    fn unit_run_times(&self, output_tokens: usize) -> (TimeSecs, TimeSecs) {
+    pub(crate) fn unit_run_times(&self, output_tokens: usize) -> (TimeSecs, TimeSecs) {
         let prefill = self.executor.run(&self.prefill_exe, self.orch).total;
         let decode = self
             .executor
@@ -235,7 +235,7 @@ impl SambaCoeNode {
     /// Router cost: a prefill over the batch plus a couple of decode steps
     /// to emit the classification (calibrated in
     /// [`Calibration::router_equiv_decode_steps`]).
-    fn router_time(&self) -> TimeSecs {
+    pub(crate) fn router_time(&self) -> TimeSecs {
         let prefill = self.executor.run(&self.prefill_exe, self.orch).total;
         let step = self.executor.run(&self.decode_exe, self.orch).total;
         prefill + step * self.calib.router_equiv_decode_steps
@@ -324,7 +324,7 @@ impl SambaCoeNode {
     /// stamps the report with the refreshed window snapshot. Runs after
     /// all timing arithmetic; with no tracker it is a no-op and the
     /// report's `slo` stays `None`.
-    fn observe_slo(
+    pub(crate) fn observe_slo(
         &mut self,
         report: &mut ServeReport,
         prefill_unit: TimeSecs,

@@ -98,11 +98,19 @@ pub enum Counter {
     /// Unit: prompts. Prompts dropped because no survivor could adopt
     /// their expert (availability loss under faults).
     PromptsDropped,
+    /// Unit: requests. Requests admitted from the online scheduler's
+    /// arrival queue into the continuous-batching loop (PR 4 online
+    /// serving; admission happens at decode-iteration boundaries).
+    RequestsAdmitted,
+    /// Unit: waves. Admission waves opened by the online scheduler — each
+    /// wave pays one router pass over its newly admitted requests (PR 4
+    /// online serving).
+    AdmissionWaves,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 27] = [
         Counter::PmuAccessCycles,
         Counter::PmuBankConflictCycles,
         Counter::PcusOccupied,
@@ -128,6 +136,8 @@ impl Counter {
         Counter::RetriesAbsorbed,
         Counter::ExpertsRehomed,
         Counter::PromptsDropped,
+        Counter::RequestsAdmitted,
+        Counter::AdmissionWaves,
     ];
 
     /// Number of counters (size of the tracer's accumulation array).
@@ -166,6 +176,8 @@ impl Counter {
             Counter::RetriesAbsorbed => "retries_absorbed",
             Counter::ExpertsRehomed => "experts_rehomed",
             Counter::PromptsDropped => "prompts_dropped",
+            Counter::RequestsAdmitted => "requests_admitted",
+            Counter::AdmissionWaves => "admission_waves",
         }
     }
 
@@ -194,6 +206,8 @@ impl Counter {
             Counter::PromptsServed | Counter::PromptsDropped => "prompts",
             Counter::RetriesAbsorbed => "retries",
             Counter::ExpertsRehomed => "experts",
+            Counter::RequestsAdmitted => "requests",
+            Counter::AdmissionWaves => "waves",
         }
     }
 }
@@ -213,15 +227,23 @@ pub enum Metric {
     /// Per-prompt end-to-end latency: router share + exposed switch +
     /// execution + recovery (Figure 12's per-request quantity).
     Request,
+    /// Per-request queueing delay in the online scheduler: admission time
+    /// minus arrival time (zero for an uncontended burst).
+    QueueDelay,
+    /// Per-request time-to-first-token in the online scheduler: arrival to
+    /// end of the request's prefill (router + switch + queue included).
+    Ttft,
 }
 
 impl Metric {
     /// Every histogram, in report order.
-    pub const ALL: [Metric; 4] = [
+    pub const ALL: [Metric; 6] = [
         Metric::DmaTransfer,
         Metric::ExpertSwitch,
         Metric::KernelRun,
         Metric::Request,
+        Metric::QueueDelay,
+        Metric::Ttft,
     ];
 
     /// Number of histograms (size of the tracer's aggregation array).
@@ -239,6 +261,8 @@ impl Metric {
             Metric::ExpertSwitch => "expert_switch_ns",
             Metric::KernelRun => "kernel_run_ns",
             Metric::Request => "request_ns",
+            Metric::QueueDelay => "queue_delay_ns",
+            Metric::Ttft => "ttft_ns",
         }
     }
 }

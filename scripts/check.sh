@@ -16,4 +16,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test --release (integration tests at optimized speed)"
+cargo test --workspace --release -q --tests
+
 echo "All checks passed."

@@ -1,0 +1,84 @@
+//! Tiny in-repo property-testing harness: a seeded case generator plus a
+//! fixed-iteration shrink loop. Deliberately dependency-free — the point
+//! is seed-stable reproducibility, not distribution sophistication. A
+//! failing case panics with the harness seed, the case index, and the
+//! smallest still-failing case the shrinker found, so reproducing a
+//! failure is one copy-paste.
+
+/// Deterministic splitmix64 case generator, seed-stable across runs and
+/// platforms.
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    pub fn new(seed: u64) -> Self {
+        CaseRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How many rounds the shrink loop runs before settling on the smallest
+/// reproduction found so far. Fixed so a pathological shrinker cannot
+/// spin a CI job forever.
+const SHRINK_ITERATIONS: usize = 64;
+
+/// Runs `property` over `cases` generated cases. On the first failure the
+/// case is shrunk — `shrink` proposes simpler candidates, the first one
+/// that still fails becomes the new reproduction, for at most
+/// [`SHRINK_ITERATIONS`] rounds — and the harness panics with the minimal
+/// case and both failure messages.
+pub fn check_cases<C: std::fmt::Debug + Clone>(
+    name: &str,
+    cases: usize,
+    seed: u64,
+    mut generate: impl FnMut(&mut CaseRng) -> C,
+    shrink: impl Fn(&C) -> Vec<C>,
+    mut property: impl FnMut(&C) -> Result<(), String>,
+) {
+    let mut rng = CaseRng::new(seed);
+    for case_index in 0..cases {
+        let case = generate(&mut rng);
+        let Err(original_failure) = property(&case) else {
+            continue;
+        };
+        // Shrink: walk toward the simplest case that still fails.
+        let mut smallest = case.clone();
+        let mut failure = original_failure.clone();
+        'shrinking: for _ in 0..SHRINK_ITERATIONS {
+            for candidate in shrink(&smallest) {
+                if let Err(msg) = property(&candidate) {
+                    smallest = candidate;
+                    failure = msg;
+                    continue 'shrinking;
+                }
+            }
+            break; // No simpler candidate fails: fixed point reached.
+        }
+        panic!(
+            "property '{name}' failed (seed {seed:#x}, case {case_index} of {cases})\n\
+             original case: {case:?}\n  -> {original_failure}\n\
+             shrunk case:   {smallest:?}\n  -> {failure}"
+        );
+    }
+}
