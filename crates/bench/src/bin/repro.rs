@@ -1,13 +1,19 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|--faults|all]
-//! repro serve
+//! repro [--jobs N] [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|--faults|all]
+//! repro [--jobs N] [--time] serve
 //! repro --trace [out.json]
 //! repro --profile
-//! repro --bench-json [out.json]
-//! repro --bench-check <baseline.json> [current.json]
+//! repro [--jobs N] --bench-json [out.json]
+//! repro [--jobs N] --bench-check <baseline.json> [current.json]
 //! ```
+//!
+//! `--jobs N` fans independent sweep points across N worker threads via
+//! the deterministic ordered-merge engine (`sn_bench::par`); the default
+//! is the host's available parallelism and `--jobs 1` forces the legacy
+//! sequential path. Output is byte-identical for every N. `--time` adds
+//! wall-clock lines (1 job vs N jobs) to the serve sweep.
 //!
 //! `--trace` replays the Figure 12 SN40L serving point (150 experts,
 //! BS=8) with structured tracing enabled, writes a Chrome-trace JSON
@@ -198,7 +204,7 @@ fn extensions() {
     }
 }
 
-fn run_serve() {
+fn run_serve(jobs: usize, timed: bool) {
     use sn_bench::serve;
     hr(&format!(
         "ONLINE SERVING: Poisson offered-load sweep ({} experts, {} requests, \
@@ -211,7 +217,9 @@ fn run_serve() {
         "{:<10} {:>10} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "Offered", "Delivered", "Waves", "Queue p95", "TTFT p95", "Lat p50", "Lat p95", "Tokens/s"
     );
-    let points = serve::serve_sweep();
+    let wall = std::time::Instant::now();
+    let points = serve::serve_sweep_jobs(jobs);
+    let par_ms = wall.elapsed().as_secs_f64() * 1e3;
     for p in &points {
         println!(
             "{:<10} {:>10} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10.1}",
@@ -232,15 +240,30 @@ fn run_serve() {
         ),
         None => println!("\nno saturation inside the sweep: every offered rate was absorbed"),
     }
+    if timed {
+        // Self-timing harness: re-run the sweep on the legacy sequential
+        // path and report the speedup. Printed only under --time so the
+        // plain `serve` output stays byte-identical across --jobs values.
+        let wall = std::time::Instant::now();
+        let seq = serve::serve_sweep_jobs(1);
+        let seq_ms = wall.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(seq, points, "parallel sweep must match the legacy path");
+        println!(
+            "\nsweep wall-clock: {seq_ms:.1} ms at 1 job, {par_ms:.1} ms at {jobs} job(s) \
+             ({:.2}x speedup, {} host cores)",
+            seq_ms / par_ms.max(1e-9),
+            sn_bench::par::available_jobs(),
+        );
+    }
 }
 
-fn run_faults() {
+fn run_faults(jobs: usize) {
     hr("FAULT INJECTION: single-node degradation vs fault rate (150 experts)");
     println!(
         "{:<8} {:>14} {:>12} {:>9} {:>12}",
         "Rate", "Mean latency", "Recovery%", "Retries", "Batches OK"
     );
-    for p in sn_bench::faults::node_fault_sweep() {
+    for p in sn_bench::faults::node_fault_sweep_jobs(jobs) {
         println!(
             "{:<8} {:>14} {:>11.1}% {:>9} {:>9}/{}",
             format!("{:.0}%", p.rate * 100.0),
@@ -258,7 +281,7 @@ fn run_faults() {
         "{:<8} {:>14} {:>14} {:>9} {:>12}",
         "Rate", "Mean latency", "Availability", "Re-homed", "Nodes down"
     );
-    for p in sn_bench::faults::cluster_fault_sweep() {
+    for p in sn_bench::faults::cluster_fault_sweep_jobs(jobs) {
         println!(
             "{:<8} {:>14} {:>13.1}% {:>9} {:>12}",
             format!("{:.0}%", p.rate * 100.0),
@@ -346,12 +369,36 @@ fn run_profile() {
     }
 }
 
-fn run_bench_json(path: &str) {
+fn run_bench_json(path: &str, jobs: usize) {
     hr("BENCH SNAPSHOT: tracked key figures for the regression harness");
     let wall = std::time::Instant::now();
-    let mut snap = sn_bench::profile::bench_snapshot();
+    let mut snap = sn_bench::profile::bench_snapshot_jobs(jobs);
     let elapsed_ms = wall.elapsed().as_secs_f64() * 1e3;
     snap.push_info("simulator_wall_clock_ms", &format!("{elapsed_ms:.1}"));
+    // Sweep wall-clock, legacy path vs the requested fan-out. Info
+    // entries are recorded but never compared, so timing noise cannot
+    // trip the bench gate.
+    let wall = std::time::Instant::now();
+    let seq_points = sn_bench::serve::serve_sweep_jobs(1);
+    let seq_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let wall = std::time::Instant::now();
+    let par_points = sn_bench::serve::serve_sweep_jobs(jobs);
+    let par_ms = wall.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        seq_points, par_points,
+        "parallel sweep must match the legacy path"
+    );
+    snap.push_info("serve_sweep_jobs", &jobs.to_string());
+    snap.push_info("host_cores", &sn_bench::par::available_jobs().to_string());
+    snap.push_info("serve_sweep_wall_ms_1job", &format!("{seq_ms:.1}"));
+    snap.push_info(
+        &format!("serve_sweep_wall_ms_{jobs}jobs"),
+        &format!("{par_ms:.1}"),
+    );
+    snap.push_info(
+        "serve_sweep_speedup",
+        &format!("{:.2}", seq_ms / par_ms.max(1e-9)),
+    );
     let json = snap.to_json();
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("cannot write snapshot to {path}: {e}");
@@ -381,14 +428,14 @@ fn load_snapshot(path: &str) -> sn_profile::BenchSnapshot {
     }
 }
 
-fn run_bench_check(baseline_path: &str, current_path: Option<&str>) {
+fn run_bench_check(baseline_path: &str, current_path: Option<&str>, jobs: usize) {
     hr(&format!(
         "BENCH CHECK: current run vs baseline {baseline_path}"
     ));
     let baseline = load_snapshot(baseline_path);
     let current = match current_path {
         Some(p) => load_snapshot(p),
-        None => sn_bench::profile::bench_snapshot(),
+        None => sn_bench::profile::bench_snapshot_jobs(jobs),
     };
     let report = baseline.compare(&current);
     println!("{}", report.render_table());
@@ -403,8 +450,38 @@ fn run_bench_check(baseline_path: &str, current_path: Option<&str>) {
     }
 }
 
+fn usage_exit(complaint: &str) -> ! {
+    eprintln!("{complaint}");
+    eprintln!(
+        "usage: repro [--jobs N] [--time] [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|\
+         ablations|extensions|serve|--faults|--trace [out.json]|--profile|\
+         --bench-json [out.json]|--bench-check <baseline> [current]|all]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = sn_bench::par::available_jobs();
+    let mut timed = false;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        let jobs_value = if a == "--jobs" {
+            Some(raw.next().unwrap_or_default())
+        } else {
+            a.strip_prefix("--jobs=").map(str::to_string)
+        };
+        if let Some(v) = jobs_value {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => jobs = n,
+                _ => usage_exit(&format!("--jobs wants a positive integer, got '{v}'")),
+            }
+        } else if a == "--time" {
+            timed = true;
+        } else {
+            args.push(a);
+        }
+    }
     let what = args.first().map(String::as_str).unwrap_or("all");
     match what {
         "trace" | "--trace" => {
@@ -417,8 +494,8 @@ fn main() {
             return;
         }
         "bench-json" | "--bench-json" => {
-            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR4.json");
-            run_bench_json(path);
+            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR5.json");
+            run_bench_json(path, jobs);
             return;
         }
         "bench-check" | "--bench-check" => {
@@ -426,7 +503,7 @@ fn main() {
                 eprintln!("usage: repro --bench-check <baseline.json> [current.json]");
                 std::process::exit(2);
             };
-            run_bench_check(baseline, args.get(2).map(String::as_str));
+            run_bench_check(baseline, args.get(2).map(String::as_str), jobs);
             return;
         }
         _ => {}
@@ -442,8 +519,8 @@ fn main() {
         "table3" => table3(),
         "ablations" => run_ablations(),
         "extensions" => extensions(),
-        "faults" | "--faults" => run_faults(),
-        "serve" | "--serve" => run_serve(),
+        "faults" | "--faults" => run_faults(jobs),
+        "serve" | "--serve" => run_serve(jobs, timed),
         "all" => {
             table1();
             table2();
@@ -454,18 +531,10 @@ fn main() {
             fig13();
             table3();
             extensions();
-            run_faults();
-            run_serve();
+            run_faults(jobs);
+            run_serve(jobs, timed);
             run_ablations();
         }
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            eprintln!(
-                "usage: repro [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|\
-                 extensions|serve|--faults|--trace [out.json]|--profile|\
-                 --bench-json [out.json]|--bench-check <baseline> [current]|all]"
-            );
-            std::process::exit(2);
-        }
+        other => usage_exit(&format!("unknown experiment '{other}'")),
     }
 }

@@ -21,7 +21,7 @@ const BATCHES: usize = 6;
 const BATCH_SIZE: usize = 8;
 
 /// One point of the single-node degradation curve.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeFaultPoint {
     /// Injected per-operation fault rate (fail; slowdowns ride at the
     /// same rate with a 2x factor on the socket fabric).
@@ -41,57 +41,64 @@ pub struct NodeFaultPoint {
 /// Sweeps the single-node serve path: expert-load, socket, and router
 /// faults at each rate, absorbed by the standard retry policy.
 pub fn node_fault_sweep() -> Vec<NodeFaultPoint> {
-    FAULT_RATES
-        .iter()
-        .map(|&rate| {
-            let plan = Arc::new(
-                FaultPlan::new(SEED)
-                    .with_site(FaultSite::ExpertLoad, FaultSpec::failing(rate))
-                    .with_site(
-                        FaultSite::SocketLink,
-                        FaultSpec {
-                            fail_rate: rate,
-                            slow_rate: rate,
-                            slow_factor: 2.0,
-                        },
-                    )
-                    .with_site(FaultSite::RouterDecision, FaultSpec::failing(rate)),
-            );
-            let mut node = SambaCoeNode::new(
-                NodeSpec::sn40l_node(),
-                ExpertLibrary::new(150),
-                PROMPT_TOKENS,
+    node_fault_sweep_jobs(1)
+}
+
+/// [`node_fault_sweep`] fanned across `jobs` worker threads. Each arm
+/// builds its own fault plan, node, and prompt generator, so the curve
+/// is bit-identical for every `jobs` value.
+pub fn node_fault_sweep_jobs(jobs: usize) -> Vec<NodeFaultPoint> {
+    crate::par::ordered_map(jobs, &FAULT_RATES, |_, &rate| node_fault_point(rate))
+}
+
+/// One arm of the single-node degradation sweep, at fault rate `rate`.
+pub fn node_fault_point(rate: f64) -> NodeFaultPoint {
+    let plan = Arc::new(
+        FaultPlan::new(SEED)
+            .with_site(FaultSite::ExpertLoad, FaultSpec::failing(rate))
+            .with_site(
+                FaultSite::SocketLink,
+                FaultSpec {
+                    fail_rate: rate,
+                    slow_rate: rate,
+                    slow_factor: 2.0,
+                },
             )
-            .with_faults(plan, RetryPolicy::standard());
-            let mut generator = PromptGenerator::new(42, PROMPT_TOKENS);
-            let mut latency = TimeSecs::ZERO;
-            let mut recovery_fraction = 0.0;
-            let mut retries = 0;
-            let mut completed = 0;
-            for _ in 0..BATCHES {
-                let batch = generator.batch(BATCH_SIZE);
-                if let Ok(report) = node.try_serve_batch(&batch, OUTPUT_TOKENS) {
-                    latency += report.total();
-                    recovery_fraction += report.recovery_fraction();
-                    retries += report.retries;
-                    completed += 1;
-                }
-            }
-            let denom = completed.max(1) as f64;
-            NodeFaultPoint {
-                rate,
-                mean_latency: latency / denom,
-                recovery_fraction: recovery_fraction / denom,
-                retries,
-                completed,
-                attempted: BATCHES,
-            }
-        })
-        .collect()
+            .with_site(FaultSite::RouterDecision, FaultSpec::failing(rate)),
+    );
+    let mut node = SambaCoeNode::new(
+        NodeSpec::sn40l_node(),
+        ExpertLibrary::new(150),
+        PROMPT_TOKENS,
+    )
+    .with_faults(plan, RetryPolicy::standard());
+    let mut generator = PromptGenerator::new(42, PROMPT_TOKENS);
+    let mut latency = TimeSecs::ZERO;
+    let mut recovery_fraction = 0.0;
+    let mut retries = 0;
+    let mut completed = 0;
+    for _ in 0..BATCHES {
+        let batch = generator.batch(BATCH_SIZE);
+        if let Ok(report) = node.try_serve_batch(&batch, OUTPUT_TOKENS) {
+            latency += report.total();
+            recovery_fraction += report.recovery_fraction();
+            retries += report.retries;
+            completed += 1;
+        }
+    }
+    let denom = completed.max(1) as f64;
+    NodeFaultPoint {
+        rate,
+        mean_latency: latency / denom,
+        recovery_fraction: recovery_fraction / denom,
+        retries,
+        completed,
+        attempted: BATCHES,
+    }
 }
 
 /// One point of the cluster failover curve.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterFaultPoint {
     /// Injected fault rate: expert-load failures per load, and node
     /// crashes per node per batch.
@@ -109,55 +116,61 @@ pub struct ClusterFaultPoint {
 /// Sweeps a 3-node cluster: expert-load faults plus node crashes, with
 /// prompts from crashed nodes failing over to survivors.
 pub fn cluster_fault_sweep() -> Vec<ClusterFaultPoint> {
-    FAULT_RATES
-        .iter()
-        .map(|&rate| {
-            let plan = Arc::new(
-                FaultPlan::new(SEED)
-                    .with_site(FaultSite::ExpertLoad, FaultSpec::failing(rate))
-                    .with_site(FaultSite::NodeFailure, FaultSpec::failing(rate)),
-            );
-            let mut cluster = CoeCluster::new(
-                NodeSpec::sn40l_node(),
-                3,
-                ExpertLibrary::new(300),
-                PROMPT_TOKENS,
-            )
-            .expect("3 nodes hold 300 experts")
-            .with_faults(plan, RetryPolicy::standard());
-            let mut generator = PromptGenerator::new(42, PROMPT_TOKENS);
-            let mut latency = TimeSecs::ZERO;
-            let mut served = 0usize;
-            let mut offered = 0usize;
-            let mut rehomed = 0;
-            let mut completed = 0;
-            for _ in 0..BATCHES {
-                let batch = generator.batch(BATCH_SIZE);
-                offered += batch.len();
-                match cluster.try_serve_batch(&batch, OUTPUT_TOKENS) {
-                    Ok(report) => {
-                        latency += report.latency;
-                        served += report.prompts_per_node.iter().sum::<usize>();
-                        rehomed += report.rehomed_experts;
-                        completed += 1;
-                    }
-                    Err(CoeError::NoHealthyNodes) => break,
-                    Err(e) => panic!("unexpected cluster error: {e}"),
-                }
+    cluster_fault_sweep_jobs(1)
+}
+
+/// [`cluster_fault_sweep`] fanned across `jobs` worker threads; arms
+/// are independent, so the curve is bit-identical for every `jobs`.
+pub fn cluster_fault_sweep_jobs(jobs: usize) -> Vec<ClusterFaultPoint> {
+    crate::par::ordered_map(jobs, &FAULT_RATES, |_, &rate| cluster_fault_point(rate))
+}
+
+/// One arm of the cluster failover sweep, at fault rate `rate`.
+pub fn cluster_fault_point(rate: f64) -> ClusterFaultPoint {
+    let plan = Arc::new(
+        FaultPlan::new(SEED)
+            .with_site(FaultSite::ExpertLoad, FaultSpec::failing(rate))
+            .with_site(FaultSite::NodeFailure, FaultSpec::failing(rate)),
+    );
+    let mut cluster = CoeCluster::new(
+        NodeSpec::sn40l_node(),
+        3,
+        ExpertLibrary::new(300),
+        PROMPT_TOKENS,
+    )
+    .expect("3 nodes hold 300 experts")
+    .with_faults(plan, RetryPolicy::standard());
+    let mut generator = PromptGenerator::new(42, PROMPT_TOKENS);
+    let mut latency = TimeSecs::ZERO;
+    let mut served = 0usize;
+    let mut offered = 0usize;
+    let mut rehomed = 0;
+    let mut completed = 0;
+    for _ in 0..BATCHES {
+        let batch = generator.batch(BATCH_SIZE);
+        offered += batch.len();
+        match cluster.try_serve_batch(&batch, OUTPUT_TOKENS) {
+            Ok(report) => {
+                latency += report.latency;
+                served += report.prompts_per_node.iter().sum::<usize>();
+                rehomed += report.rehomed_experts;
+                completed += 1;
             }
-            ClusterFaultPoint {
-                rate,
-                mean_latency: latency / completed.max(1) as f64,
-                availability: if offered == 0 {
-                    0.0
-                } else {
-                    served as f64 / offered as f64
-                },
-                rehomed,
-                failed_nodes: cluster.failed_nodes().len(),
-            }
-        })
-        .collect()
+            Err(CoeError::NoHealthyNodes) => break,
+            Err(e) => panic!("unexpected cluster error: {e}"),
+        }
+    }
+    ClusterFaultPoint {
+        rate,
+        mean_latency: latency / completed.max(1) as f64,
+        availability: if offered == 0 {
+            0.0
+        } else {
+            served as f64 / offered as f64
+        },
+        rehomed,
+        failed_nodes: cluster.failed_nodes().len(),
+    }
 }
 
 #[cfg(test)]

@@ -8,10 +8,12 @@
 pub mod ablations;
 pub mod experiments;
 pub mod faults;
+pub mod par;
 pub mod profile;
 pub mod serve;
 pub mod trace;
 pub mod validate;
 
 pub use experiments::{fig1, fig10, fig11, fig12, fig13, table1, table2_rows, table3};
+pub use par::{available_jobs, ordered_map};
 pub use profile::{bench_snapshot, profiled_fig12_run, ProfiledRun};

@@ -12,8 +12,11 @@
 //! attribution, counters, and SLO percentiles — into a
 //! [`BenchSnapshot`] with per-metric tolerances — including the online
 //! serving sweep from [`crate::serve`]. `scripts/bench_check.sh`
-//! compares a fresh snapshot against the committed `BENCH_PR4.json`
-//! baseline and fails CI on any out-of-tolerance drift.
+//! compares a fresh snapshot against the committed `BENCH_PR5.json`
+//! baseline and fails CI on any out-of-tolerance drift. The snapshot's
+//! metric runs fan across worker threads ([`bench_snapshot_jobs`]) yet
+//! assemble in fixed order, so the JSON is byte-identical at any job
+//! count.
 
 use crate::experiments::{self, PROMPT_TOKENS};
 use sn_arch::NodeSpec;
@@ -91,12 +94,83 @@ fn slug(name: &str) -> String {
     out.trim_end_matches('-').to_string()
 }
 
+/// One independent data product feeding the snapshot — the unit of
+/// fan-out for [`bench_snapshot_jobs`]. Each product is a pure function
+/// of the model, so the products can be computed in any order (or on
+/// any thread) and assembled sequentially afterwards.
+enum SnapshotTask {
+    Fig1,
+    Fig12,
+    Table3,
+    Profiled,
+    SweepPoint(f64),
+}
+
+/// The result of one [`SnapshotTask`].
+enum SnapshotPart {
+    Fig1(Vec<(sn_coe::Platform, sn_coe::LatencyBreakdown)>),
+    Fig12(Vec<experiments::Fig12Point>),
+    Table3(Vec<experiments::Table3Row>),
+    Profiled(Box<ProfiledRun>),
+    SweepPoint(crate::serve::ServeSweepPoint),
+}
+
 /// Builds the tracked-metric snapshot for the continuous-benchmark
 /// harness: model figures at a 2% tolerance, event counters exact, SLO
 /// and attribution numbers at 2%, bottleneck classifications as exact
 /// text. Purely deterministic — wall-clock `info` entries are added by
 /// the caller (`repro --bench-json`), never here.
 pub fn bench_snapshot() -> BenchSnapshot {
+    bench_snapshot_jobs(1)
+}
+
+/// [`bench_snapshot`] with its independent metric runs (Figure 1,
+/// Figure 12, Table III, the profiled serving run, and each point of
+/// the online sweep) fanned across `jobs` worker threads. Assembly
+/// stays sequential, so the snapshot JSON is byte-identical for every
+/// `jobs` value — `scripts/bench_check.sh` holds under parallelism.
+pub fn bench_snapshot_jobs(jobs: usize) -> BenchSnapshot {
+    let mut tasks = vec![
+        SnapshotTask::Fig1,
+        SnapshotTask::Fig12,
+        SnapshotTask::Table3,
+        SnapshotTask::Profiled,
+    ];
+    tasks.extend(
+        crate::serve::SWEEP_RATES
+            .iter()
+            .map(|&r| SnapshotTask::SweepPoint(r)),
+    );
+    let mut fig1 = None;
+    let mut fig12 = None;
+    let mut table3 = None;
+    let mut run = None;
+    let mut points = Vec::with_capacity(crate::serve::SWEEP_RATES.len());
+    for part in crate::par::ordered_map(jobs, &tasks, |_, task| match task {
+        SnapshotTask::Fig1 => SnapshotPart::Fig1(experiments::fig1()),
+        SnapshotTask::Fig12 => SnapshotPart::Fig12(experiments::fig12(8)),
+        SnapshotTask::Table3 => SnapshotPart::Table3(experiments::table3()),
+        SnapshotTask::Profiled => SnapshotPart::Profiled(Box::new(profiled_fig12_run(150, 8, 4))),
+        SnapshotTask::SweepPoint(rate) => {
+            SnapshotPart::SweepPoint(crate::serve::serve_point(*rate))
+        }
+    }) {
+        match part {
+            SnapshotPart::Fig1(v) => fig1 = Some(v),
+            SnapshotPart::Fig12(v) => fig12 = Some(v),
+            SnapshotPart::Table3(v) => table3 = Some(v),
+            SnapshotPart::Profiled(v) => run = Some(*v),
+            // ordered_map keeps input order, so points land rate-sorted.
+            SnapshotPart::SweepPoint(p) => points.push(p),
+        }
+    }
+    let (fig1, fig12, table3, run) = (
+        fig1.expect("fig1 task ran"),
+        fig12.expect("fig12 task ran"),
+        table3.expect("table3 task ran"),
+        run.expect("profiled task ran"),
+    );
+
     let mut snap = BenchSnapshot::new();
     snap.push_info(
         "operating_point",
@@ -104,7 +178,7 @@ pub fn bench_snapshot() -> BenchSnapshot {
     );
 
     // Figure 1: per-platform switching fraction (the memory-wall bar chart).
-    for (platform, b) in experiments::fig1() {
+    for (platform, b) in fig1 {
         snap.push_num(
             &format!("fig1.{}.switching_fraction", slug(platform.name())),
             b.switching_fraction(),
@@ -114,7 +188,7 @@ pub fn bench_snapshot() -> BenchSnapshot {
     }
 
     // Figure 12 anchor: 150 experts, BS=8 totals and the headline speedup.
-    let anchor = experiments::fig12(8)
+    let anchor = fig12
         .into_iter()
         .find(|p| p.experts == 150)
         .expect("150 experts is in the sweep");
@@ -127,14 +201,13 @@ pub fn bench_snapshot() -> BenchSnapshot {
     snap.push_num("fig12.bs8.speedup_vs_a100", a100 / sn, "x", 0.02);
 
     // Table III speedups.
-    for r in experiments::table3() {
+    for r in table3 {
         let key = slug(r.metric);
         snap.push_num(&format!("table3.{key}.vs_a100"), r.vs_a100, "x", 0.02);
         snap.push_num(&format!("table3.{key}.vs_h100"), r.vs_h100, "x", 0.02);
     }
 
     // Profiled serving run: end-to-end figures, attribution, counters, SLO.
-    let run = profiled_fig12_run(150, 8, 4);
     snap.push_num("serve.total_ms", run.report.total().as_millis(), "ms", 0.02);
     snap.push_num(
         "serve.switching_fraction",
@@ -210,7 +283,6 @@ pub fn bench_snapshot() -> BenchSnapshot {
     // Online serving sweep: one latency/throughput pair per offered rate,
     // plus the saturation knee. Deterministic seeded arrivals keep the 2%
     // tolerance honest; wave counts are exact integers.
-    let points = crate::serve::serve_sweep();
     for p in &points {
         let key = format!("serve_online.rps{:.0}", p.offered_rps);
         snap.push_num(

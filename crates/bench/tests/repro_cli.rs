@@ -31,6 +31,54 @@ fn unknown_mode_exits_nonzero_with_usage() {
 }
 
 #[test]
+fn bad_jobs_values_are_usage_errors() {
+    for bad in ["abc", "0", "-3", ""] {
+        let out = repro()
+            .args(["--jobs", bad, "serve"])
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad:?} is exit code 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--jobs") && stderr.contains("usage:"),
+            "stderr explains the bad --jobs value: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn serve_report_is_byte_identical_across_jobs() {
+    let run = |jobs: &str| {
+        let out = repro()
+            .args(["--jobs", jobs, "serve"])
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(out.status.code(), Some(0), "serve --jobs {jobs} succeeds");
+        out.stdout
+    };
+    let sequential = run("1");
+    assert_eq!(
+        sequential,
+        run("4"),
+        "serve output must not depend on --jobs"
+    );
+}
+
+#[test]
+fn timed_serve_prints_the_wall_clock_comparison() {
+    let out = repro()
+        .args(["--jobs", "2", "--time", "serve"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("sweep wall-clock:") && stdout.contains("at 1 job"),
+        "--time adds the 1-job vs N-jobs timing line: {stdout}"
+    );
+}
+
+#[test]
 fn bench_check_without_baseline_is_a_usage_error() {
     let out = repro()
         .arg("--bench-check")

@@ -392,9 +392,9 @@ impl CoeCluster {
             let owner = self.owner(e);
             per_node_prompts[owner] += 1;
             if seen.insert(e) {
-                let name = self.library.expert(e).name.clone();
+                let name = self.library.expert(e).name.as_str();
                 let outcome = self.runtimes[owner]
-                    .activate(&name)
+                    .activate(name)
                     .expect("expert registered on owner");
                 if !outcome.hit {
                     misses += 1;
@@ -646,8 +646,8 @@ impl CoeCluster {
         } else {
             home
         };
-        let name = self.library.expert(expert).name.clone();
-        match self.runtimes[serving].activate_with_recovery(&name) {
+        let name = self.library.expert(expert).name.as_str();
+        match self.runtimes[serving].activate_with_recovery(name) {
             Ok((outcome, recovery)) => {
                 if !outcome.hit {
                     *misses += 1;

@@ -302,18 +302,65 @@ impl OnlineReport {
         let sum: TimeSecs = self.records.iter().map(RequestRecord::queue_delay).sum();
         sum * (1.0 / self.records.len() as f64)
     }
+
+    /// Sorts each per-request series once and returns a view that
+    /// answers any number of percentile queries off the sorted buffers.
+    /// Preferred over the single-shot `*_percentile` methods whenever a
+    /// caller needs more than one quantile of a series (the serve-sweep
+    /// summary asks for four), since those re-sort per call.
+    pub fn percentiles(&self) -> OnlinePercentiles {
+        OnlinePercentiles::new(&self.records)
+    }
 }
 
-/// Exact nearest-rank percentile (same rule as the SLO window's). An
-/// empty iterator yields zero.
+/// Sorted-once percentile view over an [`OnlineReport`]'s per-request
+/// series. Built by [`OnlineReport::percentiles`]; each accessor is a
+/// nearest-rank slice into an already-sorted buffer, so querying many
+/// quantiles costs one sort per series total instead of one per call.
+#[derive(Debug, Clone)]
+pub struct OnlinePercentiles {
+    latency: Vec<f64>,
+    ttft: Vec<f64>,
+    queue_delay: Vec<f64>,
+}
+
+impl OnlinePercentiles {
+    fn new(records: &[RequestRecord]) -> Self {
+        let sorted = |series: fn(&RequestRecord) -> TimeSecs| {
+            let mut buf: Vec<f64> = records.iter().map(|r| series(r).as_secs()).collect();
+            sn_profile::sort_for_quantiles(&mut buf);
+            buf
+        };
+        OnlinePercentiles {
+            latency: sorted(RequestRecord::latency),
+            ttft: sorted(RequestRecord::ttft),
+            queue_delay: sorted(RequestRecord::queue_delay),
+        }
+    }
+
+    /// Nearest-rank percentile of end-to-end request latency.
+    pub fn latency(&self, q: f64) -> TimeSecs {
+        TimeSecs::from_secs(sn_profile::nearest_rank_sorted(&self.latency, q))
+    }
+
+    /// Nearest-rank percentile of time-to-first-token.
+    pub fn ttft(&self, q: f64) -> TimeSecs {
+        TimeSecs::from_secs(sn_profile::nearest_rank_sorted(&self.ttft, q))
+    }
+
+    /// Nearest-rank percentile of queueing delay.
+    pub fn queue_delay(&self, q: f64) -> TimeSecs {
+        TimeSecs::from_secs(sn_profile::nearest_rank_sorted(&self.queue_delay, q))
+    }
+}
+
+/// Exact nearest-rank percentile, delegating to `sn-profile`'s shared
+/// quantile rule (the SLO window uses the very same functions, so the
+/// two definitions cannot drift). An empty iterator yields zero.
 fn percentile(values: impl Iterator<Item = TimeSecs>, q: f64) -> TimeSecs {
     let mut sorted: Vec<f64> = values.map(TimeSecs::as_secs).collect();
-    if sorted.is_empty() {
-        return TimeSecs::ZERO;
-    }
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
-    TimeSecs::from_secs(sorted[rank.min(sorted.len()) - 1])
+    sn_profile::sort_for_quantiles(&mut sorted);
+    TimeSecs::from_secs(sn_profile::nearest_rank_sorted(&sorted, q))
 }
 
 /// A request currently in the decode rotation.
@@ -413,12 +460,16 @@ impl SambaCoeNode {
         // Unit timings are pure functions of the compiled executables —
         // computed once, reused every wave. `run` and the aggregate
         // report below use the exact `serve_batch` expressions; only the
-        // event-loop clock uses the per-step decomposition.
+        // event-loop clock uses the per-step decomposition. The router
+        // pass is wave-invariant too (its cost does not depend on the
+        // wave's contents), so it joins the hoisted unit costs instead
+        // of re-running the executor twice per wave.
         let (prefill_unit, decode_unit) = self.unit_run_times(output_tokens);
         let run = prefill_unit + decode_unit;
         let one_step = self.executor.run(&self.decode_exe, self.orch);
         let step_cost = one_step.exec + one_step.launch;
         let program_load = one_step.program_load;
+        let router_once = self.router_time();
 
         let mut clock = TimeSecs::ZERO;
         let mut active: Vec<ActiveRequest> = Vec::new();
@@ -434,9 +485,14 @@ impl SambaCoeNode {
         let mut waves = 0_usize;
         let mut last_slo = None;
 
+        // Scratch buffers reused across waves: the admission wave and
+        // its within-wave expert dedup set. Cleared, never reallocated.
+        let mut wave: Vec<usize> = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+
         while !queue.is_empty() || !active.is_empty() {
             // Admission at the decode-iteration boundary.
-            let mut wave: Vec<usize> = Vec::new();
+            wave.clear();
             while active.len() + wave.len() < capacity {
                 match queue.front() {
                     Some(&i) if requests[i].arrival <= clock => {
@@ -462,7 +518,6 @@ impl SambaCoeNode {
                 }
 
                 // One router pass over the newly admitted requests.
-                let router_once = self.router_time();
                 let router_cost = match &plan {
                     None => router_once,
                     Some(plan) => {
@@ -503,19 +558,22 @@ impl SambaCoeNode {
                 let mut wave_switching = TimeSecs::ZERO;
                 let mut wave_hits = 0;
                 let mut wave_misses = 0;
-                let mut seen = HashSet::new();
+                seen.clear();
                 for &i in &wave {
                     let e = assignments[i];
                     if !seen.insert(e) {
                         continue;
                     }
-                    let name = self.library.expert(e).name.clone();
+                    // The expert index already names the expert: borrow
+                    // the interned name from the library instead of
+                    // cloning a String per cold activation per wave.
+                    let name = self.library.expert(e).name.as_str();
                     let (outcome, load_rec) = match &plan {
                         None => (
-                            self.runtime.activate(&name).expect("expert registered"),
+                            self.runtime.activate(name).expect("expert registered"),
                             Recovery::default(),
                         ),
-                        Some(_) => self.runtime.activate_with_recovery(&name)?,
+                        Some(_) => self.runtime.activate_with_recovery(name)?,
                     };
                     if outcome.hit {
                         wave_hits += 1;
@@ -628,8 +686,10 @@ impl SambaCoeNode {
 
             // One decode iteration: every in-flight request advances one
             // token; completions free admission slots for the next wave.
-            let mut still = Vec::with_capacity(active.len());
-            for mut req in active.drain(..) {
+            // `retain_mut` visits in order and compacts in place, so the
+            // rotation order matches the old drain-and-rebuild loop with
+            // none of its per-iteration Vec allocation.
+            active.retain_mut(|req| {
                 let cost = if req.loaded {
                     step_cost
                 } else {
@@ -639,8 +699,7 @@ impl SambaCoeNode {
                 clock += cost * req.factor;
                 req.steps_left -= 1;
                 if req.steps_left > 0 {
-                    still.push(req);
-                    continue;
+                    return true;
                 }
                 let record = RequestRecord {
                     id: req.id,
@@ -672,8 +731,8 @@ impl SambaCoeNode {
                     );
                 }
                 records.push(record);
-            }
-            active = still;
+                false
+            });
         }
 
         // Aggregate execution with `serve_batch` / `try_serve_batch`'s

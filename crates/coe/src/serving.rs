@@ -410,8 +410,8 @@ impl SambaCoeNode {
         let mut overlap_budget = TimeSecs::ZERO;
         for &e in &assignments {
             let switch_time = if seen.insert(e) {
-                let name = self.library.expert(e).name.clone();
-                let outcome = self.runtime.activate(&name).expect("expert registered");
+                let name = self.library.expert(e).name.as_str();
+                let outcome = self.runtime.activate(name).expect("expert registered");
                 if outcome.hit {
                     hits += 1;
                 } else {
@@ -469,8 +469,8 @@ impl SambaCoeNode {
             if !seen.insert(e) {
                 continue;
             }
-            let name = self.library.expert(e).name.clone();
-            let outcome = self.runtime.activate(&name).expect("expert registered");
+            let name = self.library.expert(e).name.as_str();
+            let outcome = self.runtime.activate(name).expect("expert registered");
             if outcome.hit {
                 hits += 1;
             } else {
@@ -576,8 +576,8 @@ impl SambaCoeNode {
             if !seen.insert(e) {
                 continue;
             }
-            let name = self.library.expert(e).name.clone();
-            let (outcome, load_rec) = self.runtime.activate_with_recovery(&name)?;
+            let name = self.library.expert(e).name.as_str();
+            let (outcome, load_rec) = self.runtime.activate_with_recovery(name)?;
             if outcome.hit {
                 hits += 1;
             } else {

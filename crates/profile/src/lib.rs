@@ -51,7 +51,9 @@ pub use attribution::{
     request_latency_quantiles, Bound, MachineProfile, PhaseAttribution, PhaseKind, PhaseSample,
     RequestQuantiles, ServeAttribution,
 };
-pub use slo::{BatchObservation, SloConfig, SloSnapshot, SloTracker};
+pub use slo::{
+    nearest_rank_sorted, sort_for_quantiles, BatchObservation, SloConfig, SloSnapshot, SloTracker,
+};
 pub use snapshot::{
     BenchMetric, BenchSnapshot, CompareReport, CompareRow, CompareStatus, MetricValue,
 };

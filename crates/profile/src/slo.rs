@@ -192,13 +192,34 @@ impl SloTracker {
     }
 }
 
+/// Sorts a sample buffer in place for [`nearest_rank_sorted`]. Uses a
+/// total order that treats incomparable (NaN) pairs as equal — the
+/// comparator every quantile consumer in the workspace must share, so
+/// sorted buffers are interchangeable bit-for-bit.
+pub fn sort_for_quantiles(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+/// Exact nearest-rank quantile over an already-sorted sample buffer:
+/// the smallest sample such that at least `q` (clamped to `[0, 1]`) of
+/// the samples are ≤ it. Yields 0.0 for an empty buffer. This is the
+/// single quantile rule for the whole workspace — the SLO window here
+/// and `sn-coe`'s per-request percentiles both call it, so the two can
+/// never drift.
+pub fn nearest_rank_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
 /// Exact nearest-rank percentile: the smallest value such that at least
 /// `q` of the samples are ≤ it. `values` must be non-empty.
 fn percentile(values: &[TimeSecs], q: f64) -> TimeSecs {
     let mut sorted: Vec<f64> = values.iter().map(|t| t.as_secs()).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
-    TimeSecs::from_secs(sorted[rank.min(sorted.len()) - 1])
+    sort_for_quantiles(&mut sorted);
+    TimeSecs::from_secs(nearest_rank_sorted(&sorted, q))
 }
 
 #[cfg(test)]

@@ -19,4 +19,14 @@ cargo test --workspace -q
 echo "==> cargo test --release (integration tests at optimized speed)"
 cargo test --workspace --release -q --tests
 
+echo "==> repro serve --jobs parity (parallel sweep == legacy path, byte-for-byte)"
+cargo build --release -q -p sn-bench --bin repro
+./target/release/repro --jobs 1 serve > /tmp/serve_jobs1.out
+./target/release/repro --jobs 4 serve > /tmp/serve_jobs4.out
+if ! diff -u /tmp/serve_jobs1.out /tmp/serve_jobs4.out; then
+  echo "serve sweep output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+rm -f /tmp/serve_jobs1.out /tmp/serve_jobs4.out
+
 echo "All checks passed."

@@ -4,6 +4,12 @@
 //! failing case panics with the harness seed, the case index, and the
 //! smallest still-failing case the shrinker found, so reproducing a
 //! failure is one copy-paste.
+//!
+//! Cases run in fixed-size batches fanned across worker threads by the
+//! ordered-merge engine (`sn_bench::par`). Batch boundaries depend only
+//! on the case count — never on `jobs` or timing — and every batch gets
+//! a fresh state from its factory, so the verdict (and the reported
+//! minimal reproduction) is identical for every `jobs` value.
 
 /// Deterministic splitmix64 case generator, seed-stable across runs and
 /// platforms.
@@ -43,42 +49,73 @@ impl CaseRng {
 /// spin a CI job forever.
 const SHRINK_ITERATIONS: usize = 64;
 
-/// Runs `property` over `cases` generated cases. On the first failure the
-/// case is shrunk — `shrink` proposes simpler candidates, the first one
-/// that still fails becomes the new reproduction, for at most
-/// [`SHRINK_ITERATIONS`] rounds — and the harness panics with the minimal
-/// case and both failure messages.
-pub fn check_cases<C: std::fmt::Debug + Clone>(
+/// Cases per worker batch. A constant — not derived from `jobs` — so the
+/// state each case sees (its batch's fresh state, warmed by the batch's
+/// earlier cases) is the same no matter how many threads run the batches.
+const CASES_PER_BATCH: usize = 25;
+
+/// Runs `property` over `cases` generated cases, in
+/// [`CASES_PER_BATCH`]-sized batches fanned across `jobs` worker
+/// threads. Cases are generated up front from one sequential `CaseRng`
+/// stream; each batch evaluates against a fresh state from
+/// `make_state`. On the earliest failing case the harness shrinks —
+/// `shrink` proposes simpler candidates, the first one that still fails
+/// (against a fresh state) becomes the new reproduction, for at most
+/// [`SHRINK_ITERATIONS`] rounds — and panics with the minimal case and
+/// both failure messages.
+#[allow(clippy::too_many_arguments)] // four scalar knobs + four closures; a config struct would obscure the call sites
+pub fn check_cases<C, S>(
     name: &str,
     cases: usize,
     seed: u64,
+    jobs: usize,
     mut generate: impl FnMut(&mut CaseRng) -> C,
     shrink: impl Fn(&C) -> Vec<C>,
-    mut property: impl FnMut(&C) -> Result<(), String>,
-) {
+    make_state: impl Fn() -> S + Sync,
+    property: impl Fn(&mut S, &C) -> Result<(), String> + Sync,
+) where
+    C: std::fmt::Debug + Clone + Send + Sync,
+{
     let mut rng = CaseRng::new(seed);
-    for case_index in 0..cases {
-        let case = generate(&mut rng);
-        let Err(original_failure) = property(&case) else {
-            continue;
-        };
-        // Shrink: walk toward the simplest case that still fails.
-        let mut smallest = case.clone();
-        let mut failure = original_failure.clone();
-        'shrinking: for _ in 0..SHRINK_ITERATIONS {
-            for candidate in shrink(&smallest) {
-                if let Err(msg) = property(&candidate) {
-                    smallest = candidate;
-                    failure = msg;
-                    continue 'shrinking;
-                }
+    let all: Vec<C> = (0..cases).map(|_| generate(&mut rng)).collect();
+    let batches: Vec<(usize, &[C])> = all
+        .chunks(CASES_PER_BATCH.max(1))
+        .enumerate()
+        .map(|(b, chunk)| (b * CASES_PER_BATCH.max(1), chunk))
+        .collect();
+    // One slot per batch, merged in batch order: the earliest failing
+    // batch's first failure is the one reported, whatever finished first.
+    let failures = sn_bench::par::ordered_map(jobs, &batches, |_, &(start, chunk)| {
+        let mut state = make_state();
+        for (offset, case) in chunk.iter().enumerate() {
+            if let Err(msg) = property(&mut state, case) {
+                return Some((start + offset, case.clone(), msg));
             }
-            break; // No simpler candidate fails: fixed point reached.
         }
-        panic!(
-            "property '{name}' failed (seed {seed:#x}, case {case_index} of {cases})\n\
-             original case: {case:?}\n  -> {original_failure}\n\
-             shrunk case:   {smallest:?}\n  -> {failure}"
-        );
+        None
+    });
+    let Some((case_index, case, original_failure)) = failures.into_iter().flatten().next() else {
+        return;
+    };
+    // Shrink: walk toward the simplest case that still fails, against a
+    // state warmed only by earlier shrink candidates (fresh, like a
+    // batch head — reproducible by construction).
+    let mut state = make_state();
+    let mut smallest = case.clone();
+    let mut failure = original_failure.clone();
+    'shrinking: for _ in 0..SHRINK_ITERATIONS {
+        for candidate in shrink(&smallest) {
+            if let Err(msg) = property(&mut state, &candidate) {
+                smallest = candidate;
+                failure = msg;
+                continue 'shrinking;
+            }
+        }
+        break; // No simpler candidate fails: fixed point reached.
     }
+    panic!(
+        "property '{name}' failed (seed {seed:#x}, case {case_index} of {cases})\n\
+         original case: {case:?}\n  -> {original_failure}\n\
+         shrunk case:   {smallest:?}\n  -> {failure}"
+    );
 }

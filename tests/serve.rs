@@ -262,17 +262,23 @@ fn run_case(node: &mut SambaCoeNode, c: &SchedCase) -> OnlineReport {
 
 const CASES: usize = 200;
 
+/// Worker threads for the property harness. Batch boundaries are fixed
+/// by the harness, so the verdict is identical at any thread count —
+/// this just keeps the 4x200-case suites off the single-core path.
+const JOBS: usize = 4;
+
 #[test]
 fn property_every_request_completes_exactly_once() {
-    let mut node = coe(40);
     check_cases(
         "every admitted request completes exactly once",
         CASES,
         0xa11c_e5e5,
+        JOBS,
         gen_case,
         shrink_case,
-        |c| {
-            let out = run_case(&mut node, c);
+        || coe(40),
+        |node, c| {
+            let out = run_case(node, c);
             if out.records.len() != c.n_requests {
                 return Err(format!(
                     "{} records for {} requests",
@@ -297,15 +303,16 @@ fn property_every_request_completes_exactly_once() {
 
 #[test]
 fn property_output_tokens_are_conserved() {
-    let mut node = coe(40);
     check_cases(
         "total output tokens are conserved",
         CASES,
         0x70ce_2222,
+        JOBS,
         gen_case,
         shrink_case,
-        |c| {
-            let out = run_case(&mut node, c);
+        || coe(40),
+        |node, c| {
+            let out = run_case(node, c);
             let want = c.n_requests * c.output_tokens.max(1);
             let got = out.total_output_tokens();
             if got != want {
@@ -318,15 +325,16 @@ fn property_output_tokens_are_conserved() {
 
 #[test]
 fn property_queue_delay_is_never_negative() {
-    let mut node = coe(40);
     check_cases(
         "queueing delay is non-negative",
         CASES,
         0xde1a_9999,
+        JOBS,
         gen_case,
         shrink_case,
-        |c| {
-            let out = run_case(&mut node, c);
+        || coe(40),
+        |node, c| {
+            let out = run_case(node, c);
             for r in &out.records {
                 if r.admitted < r.arrival {
                     return Err(format!(
@@ -345,15 +353,16 @@ fn property_queue_delay_is_never_negative() {
 
 #[test]
 fn property_completions_are_non_decreasing() {
-    let mut node = coe(40);
     check_cases(
         "completion times are non-decreasing per node",
         CASES,
         0x0c0d_e444,
+        JOBS,
         gen_case,
         shrink_case,
-        |c| {
-            let out = run_case(&mut node, c);
+        || coe(40),
+        |node, c| {
+            let out = run_case(node, c);
             for w in out.records.windows(2) {
                 if w[0].completed > w[1].completed {
                     return Err(format!(
