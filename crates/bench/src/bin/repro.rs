@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--jobs N] [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|--faults|all]
 //! repro [--jobs N] [--time] serve
+//! repro [--jobs N] tenants
 //! repro --trace [out.json]
 //! repro --profile
 //! repro [--jobs N] --bench-json [out.json]
@@ -31,6 +32,12 @@
 //! `serve` sweeps offered load (Poisson arrivals) through the online
 //! continuous-batching scheduler and prints the throughput–latency
 //! curve, calling out the saturation knee.
+//!
+//! `tenants` sweeps a multi-tenant chaos scenario — four named tenants
+//! in two SLO classes, a correlated two-node outage during the peak
+//! burst, and an SLO-driven autoscaler — over an offered-load
+//! multiplier, printing per-class p99 latency and goodput plus shed /
+//! preempt / scale counts for every row.
 //!
 //! `--bench-json` writes the continuous-benchmark snapshot — every
 //! tracked key figure with its tolerance — for `scripts/bench_check.sh`.
@@ -295,6 +302,55 @@ fn run_faults(jobs: usize) {
     println!(" prompts re-home their experts onto survivors over DDR)");
 }
 
+fn run_tenants(jobs: usize) {
+    use sn_bench::tenants;
+    hr(&format!(
+        "MULTI-TENANT CHAOS: load sweep, {} nodes, kill {:?} during {}..{}",
+        tenants::SWEEP_NODES,
+        tenants::OUTAGE_NODES,
+        tenants::OUTAGE_START,
+        tenants::OUTAGE_END,
+    ));
+    println!(
+        "{:<6} {:>9} {:>6} {:>6} {:>6} {:>12} {:>12} {:>9} {:>9} {:>6} {:>6}",
+        "Load",
+        "Submitted",
+        "Done",
+        "Shed",
+        "Preempt",
+        "Int p99",
+        "Batch p99",
+        "Int gp/s",
+        "Bat gp/s",
+        "Scale",
+        "Nodes"
+    );
+    let points = tenants::tenants_sweep_jobs(jobs);
+    for p in &points {
+        println!(
+            "{:<6} {:>9} {:>6} {:>6} {:>6} {:>12} {:>12} {:>9.1} {:>9.1} {:>6} {:>6}",
+            format!("{:.1}x", p.load),
+            p.submitted,
+            p.completed,
+            p.shed,
+            p.preempted,
+            p.interactive_p99.to_string(),
+            p.batch_p99.to_string(),
+            p.interactive_goodput,
+            p.batch_goodput,
+            format!("+{}-{}", p.scale_ups, p.scale_downs),
+            p.final_nodes,
+        );
+        assert!(p.conserved, "request conservation must hold at every load");
+    }
+    let bound = tenants::sweep_config().interactive.slo_bound;
+    println!(
+        "\ninteractive SLO bound {bound}: every row's interactive p99 holds it while batch \
+         absorbs the\noutage (shed + preempted); the autoscaler re-homes experts onto added \
+         nodes after the window"
+    );
+}
+
 fn run_ablations() {
     hr("ABLATIONS (design choices from DESIGN.md)");
     println!(
@@ -454,7 +510,7 @@ fn usage_exit(complaint: &str) -> ! {
     eprintln!("{complaint}");
     eprintln!(
         "usage: repro [--jobs N] [--time] [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|\
-         ablations|extensions|serve|--faults|--trace [out.json]|--profile|\
+         ablations|extensions|serve|tenants|--faults|--trace [out.json]|--profile|\
          --bench-json [out.json]|--bench-check <baseline> [current]|all]"
     );
     std::process::exit(2);
@@ -521,6 +577,7 @@ fn main() {
         "extensions" => extensions(),
         "faults" | "--faults" => run_faults(jobs),
         "serve" | "--serve" => run_serve(jobs, timed),
+        "tenants" | "--tenants" => run_tenants(jobs),
         "all" => {
             table1();
             table2();
@@ -533,6 +590,7 @@ fn main() {
             extensions();
             run_faults(jobs);
             run_serve(jobs, timed);
+            run_tenants(jobs);
             run_ablations();
         }
         other => usage_exit(&format!("unknown experiment '{other}'")),

@@ -11,6 +11,7 @@ pub mod faults;
 pub mod par;
 pub mod profile;
 pub mod serve;
+pub mod tenants;
 pub mod trace;
 pub mod validate;
 

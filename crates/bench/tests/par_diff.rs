@@ -10,6 +10,7 @@
 use sn_bench::faults::{cluster_fault_sweep_jobs, node_fault_sweep_jobs};
 use sn_bench::profile::bench_snapshot_jobs;
 use sn_bench::serve::{serve_sweep_jobs, serve_sweep_seeded_jobs, SWEEP_SEED};
+use sn_bench::tenants::{tenants_sweep_jobs, tenants_sweep_seeded_jobs};
 
 #[test]
 fn serve_sweep_parallel_is_bit_identical_to_sequential() {
@@ -48,6 +49,29 @@ fn fault_sweeps_parallel_are_bit_identical_to_sequential() {
         cluster_fault_sweep_jobs(4),
         "cluster fault sweep diverged"
     );
+}
+
+#[test]
+fn tenants_sweep_parallel_is_bit_identical_to_sequential() {
+    // The chaos scenario threads seeded randomness through arrival
+    // processes, fault-plan draws, chaos windows, and the autoscaler —
+    // the most state-rich sweep the binary fans out. It must still be a
+    // pure function of (seed, load) per point.
+    let sequential = tenants_sweep_jobs(1);
+    for jobs in [2, 4] {
+        assert_eq!(
+            sequential,
+            tenants_sweep_jobs(jobs),
+            "tenants sweep diverged at {jobs} jobs"
+        );
+    }
+    for seed in [1u64, 0xdead_beef] {
+        assert_eq!(
+            tenants_sweep_seeded_jobs(seed, 1),
+            tenants_sweep_seeded_jobs(seed, 4),
+            "tenants sweep diverged for seed {seed:#x}"
+        );
+    }
 }
 
 #[test]

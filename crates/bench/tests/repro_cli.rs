@@ -79,6 +79,55 @@ fn timed_serve_prints_the_wall_clock_comparison() {
 }
 
 #[test]
+fn usage_line_advertises_the_tenants_mode() {
+    let out = repro().arg("nonsense").output().expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("tenants"),
+        "usage line advertises the tenants mode: {stderr}"
+    );
+}
+
+#[test]
+fn bad_jobs_with_tenants_is_a_usage_error() {
+    let out = repro()
+        .args(["--jobs", "zero", "tenants"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "bad --jobs is exit code 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--jobs") && stderr.contains("usage:"),
+        "stderr explains the bad --jobs value: {stderr}"
+    );
+    assert!(out.stdout.is_empty(), "no table printed on a usage error");
+}
+
+#[test]
+fn tenants_report_is_byte_identical_across_jobs() {
+    let run = |jobs: &str| {
+        let out = repro()
+            .args(["--jobs", jobs, "tenants"])
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(out.status.code(), Some(0), "tenants --jobs {jobs} succeeds");
+        out.stdout
+    };
+    let sequential = run("1");
+    assert_eq!(
+        sequential,
+        run("4"),
+        "tenants output must not depend on --jobs"
+    );
+    let stdout = String::from_utf8_lossy(&sequential);
+    assert!(
+        stdout.contains("MULTI-TENANT CHAOS") && stdout.contains("Int p99"),
+        "tenants prints the per-class SLO table: {stdout}"
+    );
+}
+
+#[test]
 fn bench_check_without_baseline_is_a_usage_error() {
     let out = repro()
         .arg("--bench-check")

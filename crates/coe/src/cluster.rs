@@ -92,6 +92,71 @@ impl ClusterReport {
     }
 }
 
+/// One request's slice of a serving wave (see [`CoeCluster::serve_wave`]).
+#[derive(Debug, Clone)]
+pub struct WaveSlot {
+    /// The prompt to route (its expert decides the serving node).
+    pub prompt: Prompt,
+    /// True when this is the request's first chunk: the wave charges its
+    /// prefill. Continuing chunks decode against the cached context.
+    pub prefill: bool,
+}
+
+/// Where one wave slot ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WavePlacement {
+    /// The slot executed on `node`; offsets are from the wave start.
+    Served {
+        /// Serving node index.
+        node: usize,
+        /// Offset at which the slot's first token lands (end of its
+        /// prefill; for a continuing chunk this is its slot start).
+        first_token: TimeSecs,
+        /// Offset at which the slot's chunk finishes.
+        done: TimeSecs,
+    },
+    /// No survivor could host the slot's expert (DDR exhausted or the
+    /// weights never loaded intact): capacity loss, not a silent drop.
+    Dropped,
+}
+
+/// Result of one wave served by [`CoeCluster::serve_wave`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaveOutcome {
+    /// Wall time of the wave: the busiest node.
+    pub latency: TimeSecs,
+    /// Per-node busy time.
+    pub per_node: Vec<TimeSecs>,
+    /// Slots served per node.
+    pub prompts_per_node: Vec<usize>,
+    /// Outcome per input slot, index-aligned.
+    pub placements: Vec<WavePlacement>,
+    /// Cold expert activations in this wave.
+    pub expert_misses: usize,
+    /// Experts re-homed onto survivors during this wave.
+    pub rehomed_experts: usize,
+    /// Re-homing transfer time charged inside `latency`.
+    pub failover_penalty: TimeSecs,
+    /// Retry/backoff time absorbed by injected faults inside `latency`.
+    pub recovery: TimeSecs,
+    /// Nodes down while the wave was served.
+    pub failed_nodes: Vec<usize>,
+}
+
+/// Result of a topology change ([`CoeCluster::drain_node`] or
+/// [`CoeCluster::rebalance_experts`]): how many experts moved and the
+/// DDR transfer time the moves cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceReport {
+    /// Experts whose DDR home changed (weights copied to the new home).
+    pub moved_experts: usize,
+    /// Experts that could not move (every candidate's DDR was full) and
+    /// stayed behind; zero outside pathological capacity squeezes.
+    pub stranded_experts: usize,
+    /// Total weight-transfer time for the moves, in model time.
+    pub transfer_time: TimeSecs,
+}
+
 /// A CoE deployment sharded across several SN40L nodes.
 #[derive(Debug)]
 pub struct CoeCluster {
@@ -662,6 +727,305 @@ impl CoeCluster {
             Err(e) => Err(e),
         }
     }
+
+    /// The node specification every cluster node shares.
+    pub fn node_spec(&self) -> &NodeSpec {
+        self.executor.node()
+    }
+
+    /// The tracer shared by the cluster (disabled unless attached via
+    /// [`CoeCluster::with_tracer`]); lets same-crate serving layers emit
+    /// counters into the same stream.
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Number of healthy (not failed) nodes.
+    pub fn healthy_nodes(&self) -> usize {
+        self.failed.iter().filter(|&&down| !down).count()
+    }
+
+    /// Per-node expert counts by current DDR home (including homes on
+    /// failed nodes — those experts re-home reactively when served).
+    pub fn expert_homes(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.runtimes.len()];
+        for &h in &self.homes {
+            counts[h] += 1;
+        }
+        counts
+    }
+
+    /// Weight-transfer time for moving one expert's DDR image between
+    /// nodes — the unit cost of re-homing and rebalancing.
+    fn rehome_time(&self) -> TimeSecs {
+        self.library.expert_bytes() / self.executor.node().model_switch_bandwidth()
+    }
+
+    /// Grows the cluster by one empty node (same spec as the rest, with
+    /// the cluster's fault plan and tracer attached) and returns its
+    /// index. The new node owns no experts until
+    /// [`CoeCluster::rebalance_experts`] moves some over — capacity
+    /// without placement serves nothing.
+    pub fn add_node(&mut self) -> usize {
+        let spec = self.executor.node().clone();
+        let mut rt = CoeRuntime::new(&spec, CoeRuntimeConfig::default());
+        if let Some(plan) = &self.faults {
+            rt = rt.with_faults(Arc::clone(plan), self.retry);
+        }
+        if self.tracer.is_enabled() {
+            rt = rt.with_tracer(self.tracer.clone());
+        }
+        self.runtimes.push(rt);
+        self.failed.push(false);
+        self.runtimes.len() - 1
+    }
+
+    /// Evens out expert placement across healthy nodes: experts move,
+    /// one at a time in ascending index order, from the most-loaded home
+    /// to the least-loaded healthy node until no move closes a gap of
+    /// two or more. Each move charges one DDR weight transfer. Experts
+    /// homed on failed nodes are left for reactive failover.
+    pub fn rebalance_experts(&mut self) -> RebalanceReport {
+        let rehome_time = self.rehome_time();
+        let mut counts = self.expert_homes();
+        let mut report = RebalanceReport {
+            moved_experts: 0,
+            stranded_experts: 0,
+            transfer_time: TimeSecs::ZERO,
+        };
+        for e in 0..self.homes.len() {
+            let h = self.homes[e];
+            if self.failed[h] {
+                continue;
+            }
+            // The least-loaded healthy destination this move would still
+            // improve on (ties to the lowest index).
+            let dest = (0..self.runtimes.len())
+                .filter(|&d| d != h && !self.failed[d] && counts[d] + 2 <= counts[h])
+                .min_by_key(|&d| (counts[d], d));
+            let Some(dest) = dest else { continue };
+            let name = self.library.expert(e).name.clone();
+            let bytes = self.library.expert_bytes();
+            match self.runtimes[dest].register(ModelBinary::weights_only(name, bytes)) {
+                Ok(()) => {
+                    self.homes[e] = dest;
+                    counts[h] -= 1;
+                    counts[dest] += 1;
+                    report.moved_experts += 1;
+                    report.transfer_time += rehome_time;
+                }
+                // The destination already holds the weights from an
+                // earlier adoption: the move is free.
+                Err(CoeError::Duplicate(_)) => {
+                    self.homes[e] = dest;
+                    counts[h] -= 1;
+                    counts[dest] += 1;
+                    report.moved_experts += 1;
+                }
+                Err(CoeError::DdrFull(_)) => continue,
+                Err(_) => continue,
+            }
+        }
+        report
+    }
+
+    /// Proactively drains a node for scale-down: every expert homed on
+    /// it moves to the least-loaded other healthy node first (a planned
+    /// DDR transfer each, unlike crash failover there is no serving-path
+    /// penalty), then the node is taken out of service. Restore it later
+    /// with [`CoeCluster::restore_node`] — it keeps whatever weights its
+    /// DDR already held.
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::NoHealthyNodes`] when no *other* healthy node exists
+    /// to take the experts — a cluster cannot drain its last node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node index.
+    pub fn drain_node(&mut self, node: usize) -> Result<RebalanceReport, CoeError> {
+        assert!(node < self.runtimes.len(), "no such node");
+        if !(0..self.runtimes.len()).any(|i| i != node && !self.failed[i]) {
+            return Err(CoeError::NoHealthyNodes);
+        }
+        let rehome_time = self.rehome_time();
+        let mut counts = self.expert_homes();
+        let mut report = RebalanceReport {
+            moved_experts: 0,
+            stranded_experts: 0,
+            transfer_time: TimeSecs::ZERO,
+        };
+        for e in 0..self.homes.len() {
+            if self.homes[e] != node {
+                continue;
+            }
+            let name = self.library.expert(e).name.clone();
+            let bytes = self.library.expert_bytes();
+            let mut candidates: Vec<usize> = (0..self.runtimes.len())
+                .filter(|&i| i != node && !self.failed[i])
+                .collect();
+            candidates.sort_by_key(|&i| (counts[i], i));
+            let mut placed = false;
+            for dest in candidates {
+                match self.runtimes[dest].register(ModelBinary::weights_only(name.clone(), bytes)) {
+                    Ok(()) => {
+                        self.homes[e] = dest;
+                        counts[node] -= 1;
+                        counts[dest] += 1;
+                        report.moved_experts += 1;
+                        report.transfer_time += rehome_time;
+                        placed = true;
+                        break;
+                    }
+                    Err(CoeError::Duplicate(_)) => {
+                        self.homes[e] = dest;
+                        counts[node] -= 1;
+                        counts[dest] += 1;
+                        report.moved_experts += 1;
+                        placed = true;
+                        break;
+                    }
+                    Err(CoeError::DdrFull(_)) => continue,
+                    Err(err) => return Err(err),
+                }
+            }
+            if !placed {
+                report.stranded_experts += 1;
+            }
+        }
+        self.failed[node] = true;
+        Ok(report)
+    }
+
+    /// Serves one wave of a continuous-batching engine: each slot is one
+    /// request's chunk (prefill + `wave_tokens` decode steps for a first
+    /// chunk, decode only for a continuing chunk). Routing, failover,
+    /// and fault handling follow [`CoeCluster::try_serve_batch`] — a
+    /// per-wave [`FaultSite::NodeFailure`] draw per healthy node, dead
+    /// homes re-homed onto survivors, unplaceable slots reported as
+    /// [`WavePlacement::Dropped`]. Unlike the batch path, the outcome
+    /// carries per-slot placement with first-token and completion
+    /// offsets, so an engine can keep per-request records across waves.
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::NoHealthyNodes`] when every node is down.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty wave.
+    pub fn serve_wave(
+        &mut self,
+        slots: &[WaveSlot],
+        wave_tokens: usize,
+    ) -> Result<WaveOutcome, CoeError> {
+        assert!(!slots.is_empty(), "empty wave");
+        if let Some(plan) = self.faults.clone() {
+            for i in 0..self.runtimes.len() {
+                if !self.failed[i]
+                    && matches!(plan.decide(FaultSite::NodeFailure), FaultDecision::Fail)
+                {
+                    self.failed[i] = true;
+                }
+            }
+        }
+        if self.failed.iter().all(|&down| down) {
+            return Err(CoeError::NoHealthyNodes);
+        }
+        let nodes = self.runtimes.len();
+        let n_experts = self.library.len();
+        let rehome_time = self.rehome_time();
+        let mut per_node_prompts = vec![0usize; nodes];
+        let mut per_node_switch = vec![TimeSecs::ZERO; nodes];
+        let mut per_node_recovery = vec![TimeSecs::ZERO; nodes];
+        let mut per_node_penalty = vec![TimeSecs::ZERO; nodes];
+        let mut misses = 0;
+        let mut rehomed = 0;
+        let mut placed: std::collections::HashMap<usize, Option<usize>> =
+            std::collections::HashMap::new();
+        let mut slot_nodes: Vec<Option<usize>> = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let e = self.router.route(&slot.prompt, n_experts);
+            let target = match placed.get(&e) {
+                Some(&t) => t,
+                None => {
+                    let t = self.place_expert(
+                        e,
+                        &per_node_prompts,
+                        rehome_time,
+                        &mut per_node_switch,
+                        &mut per_node_recovery,
+                        &mut per_node_penalty,
+                        &mut misses,
+                        &mut rehomed,
+                    )?;
+                    placed.insert(e, t);
+                    t
+                }
+            };
+            if let Some(node) = target {
+                per_node_prompts[node] += 1;
+            }
+            slot_nodes.push(target);
+        }
+        let router = self.router_time();
+        let (prefill_unit, decode_unit) = self.unit_run_times(wave_tokens);
+        // Shared per-node preamble (router pass, switching, recovery,
+        // re-homing), then slots run back-to-back on their node: each
+        // slot's completion offset is the node's running cursor.
+        let mut cursor: Vec<TimeSecs> = (0..nodes)
+            .map(|i| {
+                if per_node_prompts[i] == 0 {
+                    TimeSecs::ZERO
+                } else {
+                    router + per_node_switch[i] + per_node_recovery[i] + per_node_penalty[i]
+                }
+            })
+            .collect();
+        let mut placements = Vec::with_capacity(slots.len());
+        let mut dropped = 0usize;
+        for (slot, &target) in slots.iter().zip(&slot_nodes) {
+            match target {
+                None => {
+                    dropped += 1;
+                    placements.push(WavePlacement::Dropped);
+                }
+                Some(node) => {
+                    let start = cursor[node];
+                    let (first_token, done) = if slot.prefill {
+                        (start + prefill_unit, start + prefill_unit + decode_unit)
+                    } else {
+                        (start, start + decode_unit)
+                    };
+                    cursor[node] = done;
+                    placements.push(WavePlacement::Served {
+                        node,
+                        first_token,
+                        done,
+                    });
+                }
+            }
+        }
+        let per_node = cursor;
+        let latency = per_node.iter().copied().fold(TimeSecs::ZERO, TimeSecs::max);
+        if self.tracer.is_enabled() {
+            self.tracer.count(Counter::ExpertsRehomed, rehomed as u64);
+            self.tracer.count(Counter::PromptsDropped, dropped as u64);
+        }
+        self.trace_cluster_batch("wave", slots.len(), &per_node, &per_node_prompts, latency);
+        Ok(WaveOutcome {
+            latency,
+            per_node,
+            prompts_per_node: per_node_prompts,
+            placements,
+            expert_misses: misses,
+            rehomed_experts: rehomed,
+            failover_penalty: per_node_penalty.iter().copied().sum(),
+            recovery: per_node_recovery.iter().copied().sum(),
+            failed_nodes: self.failed_nodes(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -952,6 +1316,152 @@ mod tests {
         let degraded = tracked.try_serve_batch(&gen_b.batch(12), 10).unwrap();
         let slo = degraded.slo.expect("tracker still attached");
         assert_eq!(slo.total_batches, 4);
+    }
+
+    #[test]
+    fn serve_wave_places_every_slot_and_orders_offsets() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512).unwrap();
+        let batch = PromptGenerator::new(7, 512).batch(12);
+        let slots: Vec<WaveSlot> = batch
+            .iter()
+            .map(|p| WaveSlot {
+                prompt: p.clone(),
+                prefill: true,
+            })
+            .collect();
+        let outcome = cluster.serve_wave(&slots, 8).unwrap();
+        assert_eq!(outcome.placements.len(), 12);
+        assert_eq!(outcome.prompts_per_node.iter().sum::<usize>(), 12);
+        for placement in &outcome.placements {
+            let WavePlacement::Served {
+                node,
+                first_token,
+                done,
+            } = *placement
+            else {
+                panic!("healthy cluster drops nothing");
+            };
+            assert!(first_token > TimeSecs::ZERO);
+            assert!(first_token < done);
+            assert!(done <= outcome.per_node[node]);
+        }
+        assert_eq!(
+            outcome.latency,
+            outcome
+                .per_node
+                .iter()
+                .copied()
+                .fold(TimeSecs::ZERO, TimeSecs::max)
+        );
+        // The last slot on the busiest node finishes exactly at its
+        // node's busy time.
+        assert!(outcome
+            .placements
+            .iter()
+            .any(|p| matches!(p, WavePlacement::Served { done, .. } if *done == outcome.latency)));
+    }
+
+    #[test]
+    fn continuing_chunks_skip_the_prefill_charge() {
+        let mut a =
+            CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(100), 512).unwrap();
+        let mut b =
+            CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(100), 512).unwrap();
+        let prompt = PromptGenerator::new(5, 512).batch(1).remove(0);
+        let first = a
+            .serve_wave(
+                &[WaveSlot {
+                    prompt: prompt.clone(),
+                    prefill: true,
+                }],
+                8,
+            )
+            .unwrap();
+        // Same expert already activated: isolate the prefill difference.
+        let warm_prefill = a
+            .serve_wave(
+                &[WaveSlot {
+                    prompt: prompt.clone(),
+                    prefill: true,
+                }],
+                8,
+            )
+            .unwrap();
+        let _ = b.serve_wave(
+            &[WaveSlot {
+                prompt: prompt.clone(),
+                prefill: true,
+            }],
+            8,
+        );
+        let continuing = b
+            .serve_wave(
+                &[WaveSlot {
+                    prompt,
+                    prefill: false,
+                }],
+                8,
+            )
+            .unwrap();
+        assert!(first.expert_misses > 0, "cold first wave");
+        assert!(
+            continuing.latency < warm_prefill.latency,
+            "a decode-only chunk must be cheaper than prefill + decode"
+        );
+    }
+
+    #[test]
+    fn added_node_starts_empty_and_rebalance_fills_it() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512).unwrap();
+        let new = cluster.add_node();
+        assert_eq!(new, 3);
+        assert_eq!(cluster.nodes(), 4);
+        assert_eq!(cluster.healthy_nodes(), 4);
+        assert_eq!(cluster.expert_homes(), vec![100, 100, 100, 0]);
+        let report = cluster.rebalance_experts();
+        assert!(report.moved_experts >= 70, "gap of 100 must mostly close");
+        assert_eq!(report.stranded_experts, 0);
+        assert!(report.transfer_time.as_secs() > 0.0, "moves cost DDR time");
+        let homes = cluster.expert_homes();
+        let (min, max) = (homes.iter().min().unwrap(), homes.iter().max().unwrap());
+        assert!(max - min <= 1, "balanced within one expert: {homes:?}");
+        // A second pass finds nothing left to move.
+        let settled = cluster.rebalance_experts();
+        assert_eq!(settled.moved_experts, 0);
+    }
+
+    #[test]
+    fn drained_node_hands_off_experts_before_leaving() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 3, ExpertLibrary::new(300), 512).unwrap();
+        let report = cluster.drain_node(1).unwrap();
+        assert_eq!(report.moved_experts, 100);
+        assert_eq!(report.stranded_experts, 0);
+        assert!(report.transfer_time.as_secs() > 0.0);
+        assert_eq!(cluster.expert_homes()[1], 0);
+        assert_eq!(cluster.failed_nodes(), vec![1]);
+        // Serving after a drain is clean: planned handoff means no
+        // reactive re-homing and nothing dropped.
+        let batch = PromptGenerator::new(31, 512).batch(24);
+        let degraded = cluster.try_serve_batch(&batch, 10).unwrap();
+        assert_eq!(degraded.rehomed_experts, 0, "handoff already happened");
+        assert_eq!(degraded.dropped_prompts, 0);
+        assert_eq!(degraded.prompts_per_node[1], 0);
+    }
+
+    #[test]
+    fn last_healthy_node_cannot_be_drained() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(100), 512).unwrap();
+        cluster.fail_node(0);
+        assert!(matches!(
+            cluster.drain_node(1),
+            Err(CoeError::NoHealthyNodes)
+        ));
+        cluster.restore_node(0);
+        assert!(cluster.drain_node(1).is_ok());
     }
 
     #[test]

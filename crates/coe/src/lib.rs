@@ -12,7 +12,12 @@
 //!   degenerates bit-identically to [`serving`]'s batch path on a
 //!   t = 0 burst;
 //! - [`comparison`]: latency and breakdown models for SN40L vs DGX
-//!   A100/H100 (Figures 1 and 12, Table III).
+//!   A100/H100 (Figures 1 and 12, Table III);
+//! - [`tenancy`]: multi-tenant admission control over the cluster —
+//!   SLO classes, token-bucket rate limits, bounded queues, load
+//!   shedding, and wave-boundary preemption, chaos-aware;
+//! - [`autoscale`]: a hysteretic SLO-driven capacity controller that
+//!   grows/shrinks the cluster and re-homes experts between waves.
 //!
 //! # Example
 //!
@@ -25,6 +30,7 @@
 //! assert!(lib.total_params() > 1_000_000_000_000);
 //! ```
 
+pub mod autoscale;
 pub mod cluster;
 pub mod comparison;
 pub mod expert;
@@ -32,9 +38,13 @@ pub mod generation;
 pub mod router;
 pub mod scheduler;
 pub mod serving;
+pub mod tenancy;
 pub mod workload;
 
-pub use cluster::{ClusterReport, CoeCluster};
+pub use autoscale::{AutoscaleConfig, AutoscaleController, ScaleDecision, ScaleEvent};
+pub use cluster::{
+    ClusterReport, CoeCluster, RebalanceReport, WaveOutcome, WavePlacement, WaveSlot,
+};
 pub use comparison::{request_latency, LatencyBreakdown, Platform};
 pub use expert::{ExpertInfo, ExpertLibrary};
 pub use generation::GenerationModel;
@@ -43,4 +53,8 @@ pub use scheduler::{
     ArrivalPattern, ArrivalProcess, OnlineReport, OnlineRequest, RequestRecord, SchedulerConfig,
 };
 pub use serving::{SambaCoeNode, ServeReport};
+pub use tenancy::{
+    merged_stream, ClassPolicy, RateLimit, ShedReason, ShedRecord, SloClass, TenancyConfig,
+    TenancyReport, TenantRecord, TenantRequest, TenantSpec, TenantSummary,
+};
 pub use workload::{TraceConfig, TraceGenerator};

@@ -884,4 +884,41 @@ mod tests {
         assert!(out.tokens_per_sec() > 0.0);
         assert_eq!(out.total_output_tokens(), 40);
     }
+
+    #[test]
+    fn empty_record_set_helpers_are_nan_safe() {
+        // A run can legitimately complete zero requests (everything shed
+        // under chaos): every aggregate helper must stay finite and zero
+        // rather than poisoning downstream tables with NaN.
+        let out = OnlineReport {
+            report: ServeReport {
+                router: TimeSecs::ZERO,
+                switching: TimeSecs::ZERO,
+                execution: TimeSecs::ZERO,
+                recovery: TimeSecs::ZERO,
+                retries: 0,
+                expert_hits: 0,
+                expert_misses: 0,
+                assignments: Vec::new(),
+                metrics: None,
+                slo: None,
+            },
+            records: Vec::new(),
+            waves: 0,
+            makespan: TimeSecs::ZERO,
+        };
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(out.latency_percentile(q), TimeSecs::ZERO);
+            assert_eq!(out.ttft_percentile(q), TimeSecs::ZERO);
+            assert_eq!(out.queue_delay_percentile(q), TimeSecs::ZERO);
+        }
+        assert_eq!(out.mean_queue_delay(), TimeSecs::ZERO);
+        assert!(out.mean_queue_delay().as_secs().is_finite());
+        assert_eq!(out.tokens_per_sec(), 0.0);
+        assert_eq!(out.total_output_tokens(), 0);
+        let view = out.percentiles();
+        assert_eq!(view.latency(0.99), TimeSecs::ZERO);
+        assert_eq!(view.ttft(0.99), TimeSecs::ZERO);
+        assert_eq!(view.queue_delay(0.99), TimeSecs::ZERO);
+    }
 }

@@ -1,0 +1,1226 @@
+//! Multi-tenant serving: admission control, load shedding, preemption,
+//! and SLO-driven autoscaling over the cluster, proven under chaos.
+//!
+//! The paper's serving story assumes a cooperative single stream; a
+//! production Samba-CoE deployment faces *named tenants* with different
+//! service classes misbehaving together. This module layers that
+//! frontend over [`CoeCluster::serve_wave`]:
+//!
+//! - **Tenants and classes.** Each [`TenantSpec`] carries an SLO class
+//!   ([`SloClass::Interactive`] or [`SloClass::Batch`]), a seeded
+//!   arrival process, and a token-bucket rate limit. Per-tenant streams
+//!   merge into one deterministic arrival sequence ordered by
+//!   `(arrival, tenant, index)`.
+//! - **Admission and shedding.** Requests pass the tenant's token
+//!   bucket, then a bounded per-class queue. Every loss is a first-class
+//!   [`ShedRecord`] with a [`ShedReason`] — rate-limited, queue-full,
+//!   timed out, or capacity lost — never a silent drop, and the
+//!   conservation identity `admitted = completed + shed + pending` is
+//!   checkable on every report.
+//! - **Priority and preemption.** Waves fill interactive-first; when
+//!   interactive demand saturates a wave, in-flight batch chunks are
+//!   preempted at the wave boundary (progress kept, resumed later).
+//! - **Autoscaling.** An optional [`AutoscaleController`] watches
+//!   interactive completions; its decisions apply as
+//!   [`CoeCluster::add_node`] + [`CoeCluster::rebalance_experts`] or
+//!   [`CoeCluster::drain_node`], each recorded as a `ScaleEvent`.
+//! - **Chaos.** An optional [`ChaosSchedule`] crashes/restores
+//!   correlated node sets at model-time instants and degrades the wave
+//!   fabric inside fault windows — so the degradation modes above are
+//!   exercised exactly when capacity matters most.
+//!
+//! Everything is model time and seed-deterministic: two runs of the same
+//! scenario produce byte-identical reports.
+
+use crate::autoscale::{AutoscaleController, ScaleDecision, ScaleEvent};
+use crate::cluster::{CoeCluster, WavePlacement, WaveSlot};
+use crate::router::Prompt;
+use crate::scheduler::{ArrivalPattern, ArrivalProcess};
+use serde::{Deserialize, Serialize};
+use sn_arch::{Bytes, TimeSecs};
+use sn_faults::{ChaosEventKind, ChaosSchedule, FaultDecision, FaultSite};
+use sn_profile::BatchObservation;
+use sn_runtime::coe::CoeError;
+use sn_trace::Counter;
+use std::collections::VecDeque;
+
+/// Service class a tenant's traffic belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SloClass {
+    /// Latency-sensitive: admitted first, preempts batch, short chunks.
+    Interactive,
+    /// Throughput traffic: best-effort, preemptible, longer decodes.
+    Batch,
+}
+
+impl SloClass {
+    /// Human-readable class name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Batch => "batch",
+        }
+    }
+}
+
+/// Token-bucket rate limit for one tenant, in requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateLimit {
+    /// Bucket capacity: the burst a tenant may land at once.
+    pub burst: f64,
+    /// Sustained refill rate, requests per second of model time.
+    pub refill_per_sec: f64,
+}
+
+impl RateLimit {
+    /// No rate limiting for this tenant.
+    pub fn unlimited() -> Self {
+        RateLimit {
+            burst: f64::INFINITY,
+            refill_per_sec: 0.0,
+        }
+    }
+
+    /// A sustained rate with a burst allowance.
+    pub fn per_sec(refill_per_sec: f64, burst: f64) -> Self {
+        RateLimit {
+            burst,
+            refill_per_sec,
+        }
+    }
+}
+
+/// One named tenant: class, traffic shape, and rate limit.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name (reports key summaries by it).
+    pub name: String,
+    /// Service class of every request this tenant submits.
+    pub class: SloClass,
+    /// Seeded arrival process shape.
+    pub pattern: ArrivalPattern,
+    /// Requests the tenant submits over the run.
+    pub requests: usize,
+    /// Token-bucket admission limit.
+    pub rate_limit: RateLimit,
+}
+
+/// Per-class queueing and SLO policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassPolicy {
+    /// Bounded queue depth; arrivals beyond it shed as
+    /// [`ShedReason::QueueFull`] (backpressure).
+    pub queue_cap: usize,
+    /// A request still queued this long after arrival sheds as
+    /// [`ShedReason::TimedOut`].
+    pub deadline: TimeSecs,
+    /// End-to-end latency bound for goodput accounting (and, for
+    /// interactive, the p99 target the autoscaler defends).
+    pub slo_bound: TimeSecs,
+    /// Decode chunks a request needs: its output is
+    /// `chunks * wave_tokens` tokens, one chunk per wave.
+    pub chunks: usize,
+}
+
+/// Tenancy-engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyConfig {
+    /// Seed for every per-tenant arrival/prompt stream.
+    pub seed: u64,
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Decode tokens served per wave chunk.
+    pub wave_tokens: usize,
+    /// Wave admission slots per healthy node.
+    pub per_node_slots: usize,
+    /// Interactive-class policy.
+    pub interactive: ClassPolicy,
+    /// Batch-class policy.
+    pub batch: ClassPolicy,
+    /// Safety valve: after this many waves the run sheds whatever is
+    /// left as capacity loss instead of looping forever.
+    pub max_waves: usize,
+}
+
+impl TenancyConfig {
+    /// The policy governing `class`.
+    pub fn policy(&self, class: SloClass) -> &ClassPolicy {
+        match class {
+            SloClass::Interactive => &self.interactive,
+            SloClass::Batch => &self.batch,
+        }
+    }
+}
+
+impl Default for TenancyConfig {
+    fn default() -> Self {
+        TenancyConfig {
+            seed: 0x007e_4a47,
+            prompt_tokens: 512,
+            wave_tokens: 8,
+            per_node_slots: 4,
+            interactive: ClassPolicy {
+                queue_cap: 32,
+                deadline: TimeSecs::from_millis(500.0),
+                slo_bound: TimeSecs::from_millis(250.0),
+                chunks: 1,
+            },
+            batch: ClassPolicy {
+                queue_cap: 128,
+                deadline: TimeSecs::from_secs(30.0),
+                slo_bound: TimeSecs::from_secs(10.0),
+                chunks: 4,
+            },
+            max_waves: 100_000,
+        }
+    }
+}
+
+/// One request of the merged multi-tenant arrival stream.
+#[derive(Debug, Clone)]
+pub struct TenantRequest {
+    /// Index into the scenario's tenant slice.
+    pub tenant: usize,
+    /// The tenant's class.
+    pub class: SloClass,
+    /// Global submission index (merged-stream order).
+    pub submit: usize,
+    /// The prompt to serve.
+    pub prompt: Prompt,
+    /// Arrival in model time.
+    pub arrival: TimeSecs,
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The tenant's token bucket was empty at arrival.
+    RateLimited,
+    /// The class queue was at capacity (backpressure).
+    QueueFull,
+    /// Queued past the class deadline.
+    TimedOut,
+    /// Lost to capacity: no survivor could host the expert, or the run
+    /// ended (total outage / wave budget) with the request unserved.
+    CapacityLost,
+}
+
+impl ShedReason {
+    /// Snake-case reason name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::RateLimited => "rate_limited",
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::TimedOut => "timed_out",
+            ShedReason::CapacityLost => "capacity_lost",
+        }
+    }
+}
+
+/// A shed request: a first-class outcome, not a silent drop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShedRecord {
+    /// Tenant index.
+    pub tenant: usize,
+    /// The tenant's class.
+    pub class: SloClass,
+    /// Global submission index.
+    pub submit: usize,
+    /// When the request arrived.
+    pub arrival: TimeSecs,
+    /// When it was shed.
+    pub at: TimeSecs,
+    /// Why it was shed.
+    pub reason: ShedReason,
+    /// True when the request had been admitted past ingress (queue entry)
+    /// before being shed — the flag the conservation identity sorts by.
+    pub was_admitted: bool,
+}
+
+/// A completed request's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantRecord {
+    /// Tenant index.
+    pub tenant: usize,
+    /// The tenant's class.
+    pub class: SloClass,
+    /// Global submission index.
+    pub submit: usize,
+    /// Arrival in model time.
+    pub arrival: TimeSecs,
+    /// When the request first entered a serving wave.
+    pub admitted: TimeSecs,
+    /// When its first token landed (end of its prefill chunk).
+    pub first_token: TimeSecs,
+    /// When its last chunk finished.
+    pub completed: TimeSecs,
+    /// Tokens produced.
+    pub output_tokens: usize,
+    /// Times the request was bumped from a wave by interactive traffic.
+    pub preemptions: u32,
+}
+
+impl TenantRecord {
+    /// Arrival to first wave entry.
+    pub fn queue_delay(&self) -> TimeSecs {
+        self.admitted - self.arrival
+    }
+
+    /// Arrival to first token.
+    pub fn ttft(&self) -> TimeSecs {
+        self.first_token - self.arrival
+    }
+
+    /// Arrival to completion.
+    pub fn latency(&self) -> TimeSecs {
+        self.completed - self.arrival
+    }
+}
+
+/// Per-tenant roll-up for tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub name: String,
+    /// Tenant class.
+    pub class: SloClass,
+    /// Requests the tenant submitted.
+    pub submitted: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests shed (all reasons).
+    pub shed: usize,
+    /// End-to-end p99 latency over completions (zero when none).
+    pub latency_p99: TimeSecs,
+}
+
+/// Result of a multi-tenant serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyReport {
+    /// Completed requests, in completion order.
+    pub records: Vec<TenantRecord>,
+    /// Shed requests, in shed order.
+    pub shed: Vec<ShedRecord>,
+    /// Applied capacity actions, in order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Serving waves executed.
+    pub waves: usize,
+    /// Model time from t = 0 to the last wave's completion.
+    pub makespan: TimeSecs,
+    /// Requests submitted across all tenants.
+    pub submitted: usize,
+    /// Requests admitted past ingress (token bucket + queue bound).
+    pub admitted: usize,
+    /// Requests still in the system when the run returned (always zero:
+    /// every exit path completes or sheds what remains; kept explicit so
+    /// the conservation identity reads in full).
+    pub pending: usize,
+    /// Preemption events (one per bumped chunk).
+    pub preemptions: usize,
+    /// Experts re-homed by reactive failover during waves.
+    pub rehomed_experts: usize,
+    /// Waves retransmitted due to a chaos fault-window `Fail` draw on
+    /// the socket fabric (each doubled its wave's latency).
+    pub chaos_retransmits: usize,
+    /// Waves stretched by a chaos fault-window `Slow` draw on the
+    /// socket fabric.
+    pub chaos_slowdowns: usize,
+    /// Healthy nodes when the run returned.
+    pub final_nodes: usize,
+    /// Tenant names and classes, index-aligned with record fields.
+    pub tenants: Vec<(String, SloClass)>,
+    /// The engine configuration the run used (carries the class SLO
+    /// bounds goodput accounting needs).
+    pub config: TenancyConfig,
+}
+
+impl TenancyReport {
+    /// Requests shed for `reason`.
+    pub fn shed_by(&self, reason: ShedReason) -> usize {
+        self.shed.iter().filter(|s| s.reason == reason).count()
+    }
+
+    /// Requests rejected at ingress (never admitted).
+    pub fn rejected(&self) -> usize {
+        self.shed.iter().filter(|s| !s.was_admitted).count()
+    }
+
+    /// Admitted requests shed later (timeout, preemption starvation,
+    /// capacity loss).
+    pub fn shed_after_admission(&self) -> usize {
+        self.shed.iter().filter(|s| s.was_admitted).count()
+    }
+
+    /// The conservation identity every run must satisfy:
+    /// `submitted = admitted + rejected` and
+    /// `admitted = completed + shed-after-admission + pending`.
+    pub fn conservation_holds(&self) -> bool {
+        self.submitted == self.admitted + self.rejected()
+            && self.admitted == self.records.len() + self.shed_after_admission() + self.pending
+    }
+
+    /// Completed records of one class.
+    pub fn class_records(&self, class: SloClass) -> impl Iterator<Item = &TenantRecord> {
+        self.records.iter().filter(move |r| r.class == class)
+    }
+
+    /// Nearest-rank end-to-end latency percentile for a class; zero when
+    /// the class completed nothing (NaN-safe by construction).
+    pub fn latency_percentile(&self, class: SloClass, q: f64) -> TimeSecs {
+        let mut secs: Vec<f64> = self
+            .class_records(class)
+            .map(|r| r.latency().as_secs())
+            .collect();
+        sn_profile::sort_for_quantiles(&mut secs);
+        TimeSecs::from_secs(sn_profile::nearest_rank_sorted(&secs, q))
+    }
+
+    /// Nearest-rank TTFT percentile for a class; zero when empty.
+    pub fn ttft_percentile(&self, class: SloClass, q: f64) -> TimeSecs {
+        let mut secs: Vec<f64> = self
+            .class_records(class)
+            .map(|r| r.ttft().as_secs())
+            .collect();
+        sn_profile::sort_for_quantiles(&mut secs);
+        TimeSecs::from_secs(sn_profile::nearest_rank_sorted(&secs, q))
+    }
+
+    /// Goodput for a class: completions inside the class SLO bound per
+    /// second of makespan. Zero on an empty run (no NaN).
+    pub fn goodput_rps(&self, class: SloClass) -> f64 {
+        let bound = self.config.policy(class).slo_bound;
+        let good = self
+            .class_records(class)
+            .filter(|r| r.latency() <= bound)
+            .count();
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            good as f64 / self.makespan.as_secs()
+        }
+    }
+
+    /// Per-tenant roll-ups, in tenant order.
+    pub fn tenant_summaries(&self) -> Vec<TenantSummary> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .map(|(t, (name, class))| {
+                let completed: Vec<&TenantRecord> =
+                    self.records.iter().filter(|r| r.tenant == t).collect();
+                let shed = self.shed.iter().filter(|s| s.tenant == t).count();
+                let mut secs: Vec<f64> = completed.iter().map(|r| r.latency().as_secs()).collect();
+                sn_profile::sort_for_quantiles(&mut secs);
+                TenantSummary {
+                    name: name.clone(),
+                    class: *class,
+                    submitted: completed.len() + shed,
+                    completed: completed.len(),
+                    shed,
+                    latency_p99: TimeSecs::from_secs(sn_profile::nearest_rank_sorted(&secs, 0.99)),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Builds the deterministic merged arrival stream: each tenant's seeded
+/// process generates independently, then streams merge ordered by
+/// `(arrival, tenant index, per-tenant index)` and take global
+/// submission indices in that order.
+pub fn merged_stream(tenants: &[TenantSpec], config: &TenancyConfig) -> Vec<TenantRequest> {
+    let mut merged: Vec<(TimeSecs, usize, usize, Prompt)> = Vec::new();
+    for (t, spec) in tenants.iter().enumerate() {
+        let seed = tenant_seed(config.seed, t);
+        let process = ArrivalProcess::new(seed, config.prompt_tokens, spec.pattern);
+        for (i, r) in process.generate(spec.requests).into_iter().enumerate() {
+            merged.push((r.arrival, t, i, r.prompt));
+        }
+    }
+    merged.sort_by(|a, b| {
+        a.0.as_secs()
+            .total_cmp(&b.0.as_secs())
+            .then_with(|| a.1.cmp(&b.1))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    merged
+        .into_iter()
+        .enumerate()
+        .map(|(submit, (arrival, tenant, _, prompt))| TenantRequest {
+            tenant,
+            class: tenants[tenant].class,
+            submit,
+            prompt,
+            arrival,
+        })
+        .collect()
+}
+
+/// Splitmix64-style per-tenant stream seed, so tenants draw independent
+/// arrival and prompt streams from one scenario seed.
+fn tenant_seed(seed: u64, tenant: usize) -> u64 {
+    let mut z = seed ^ (tenant as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Token bucket refilled on model time; deterministic because the
+/// merged stream visits it in nondecreasing arrival order per tenant.
+#[derive(Debug)]
+struct TokenBucket {
+    level: f64,
+    last: TimeSecs,
+    limit: RateLimit,
+}
+
+impl TokenBucket {
+    fn new(limit: RateLimit) -> Self {
+        assert!(
+            limit.burst >= 0.0 && limit.refill_per_sec >= 0.0,
+            "negative rate limit"
+        );
+        TokenBucket {
+            level: limit.burst,
+            last: TimeSecs::ZERO,
+            limit,
+        }
+    }
+
+    fn admit(&mut self, now: TimeSecs) -> bool {
+        let dt = (now - self.last).as_secs().max(0.0);
+        self.level = (self.level + dt * self.limit.refill_per_sec).min(self.limit.burst);
+        self.last = now;
+        if self.level >= 1.0 {
+            self.level -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A request inside the engine (queued or in flight).
+#[derive(Debug, Clone)]
+struct Pending {
+    tenant: usize,
+    class: SloClass,
+    submit: usize,
+    prompt: Prompt,
+    arrival: TimeSecs,
+    /// First wave entry, set on first admission to a wave.
+    admitted: Option<TimeSecs>,
+    /// First token landing, set by the first served chunk.
+    first_token: Option<TimeSecs>,
+    chunks_left: usize,
+    output_tokens: usize,
+    preemptions: u32,
+}
+
+impl CoeCluster {
+    /// Runs the multi-tenant serving engine to completion: merges the
+    /// tenants' arrival streams, applies admission control, serves
+    /// priority waves via [`CoeCluster::serve_wave`], applies `chaos`
+    /// crash/restore events and fault windows at wave boundaries, and
+    /// lets `autoscaler` grow/shrink the cluster between waves.
+    ///
+    /// Every submitted request ends exactly one way — completed, or shed
+    /// with a reason — so [`TenancyReport::conservation_holds`] is an
+    /// invariant of every return path (a run that hits a total outage
+    /// with no scheduled recovery sheds the remainder as
+    /// [`ShedReason::CapacityLost`] rather than erroring).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected runtime errors from expert placement;
+    /// exhausting capacity is *not* an error (it sheds).
+    pub fn serve_tenants(
+        &mut self,
+        tenants: &[TenantSpec],
+        config: &TenancyConfig,
+        chaos: Option<&ChaosSchedule>,
+        mut autoscaler: Option<&mut AutoscaleController>,
+    ) -> Result<TenancyReport, CoeError> {
+        let tracer = self.tracer().clone();
+        let stream = merged_stream(tenants, config);
+        let submitted = stream.len();
+        let chaos_events = chaos.map(|c| c.events()).unwrap_or_default();
+        let mut buckets: Vec<TokenBucket> = tenants
+            .iter()
+            .map(|t| TokenBucket::new(t.rate_limit))
+            .collect();
+        let mut iq: VecDeque<Pending> = VecDeque::new();
+        let mut bq: VecDeque<Pending> = VecDeque::new();
+        let mut inflight: Vec<Pending> = Vec::new();
+        let mut records: Vec<TenantRecord> = Vec::new();
+        let mut shed: Vec<ShedRecord> = Vec::new();
+        let mut scale_events: Vec<ScaleEvent> = Vec::new();
+        let mut clock = TimeSecs::ZERO;
+        let mut next_request = 0usize;
+        let mut next_event = 0usize;
+        let mut admitted_count = 0usize;
+        let mut preemptions = 0usize;
+        let mut rehomed = 0usize;
+        let mut retransmits = 0usize;
+        let mut slowdowns = 0usize;
+        let mut waves = 0usize;
+
+        let shed_one = |shed: &mut Vec<ShedRecord>,
+                        tenant: usize,
+                        class: SloClass,
+                        submit: usize,
+                        arrival: TimeSecs,
+                        at: TimeSecs,
+                        reason: ShedReason,
+                        was_admitted: bool| {
+            shed.push(ShedRecord {
+                tenant,
+                class,
+                submit,
+                arrival,
+                at,
+                reason,
+                was_admitted,
+            });
+            tracer.count(Counter::RequestsShed, 1);
+        };
+
+        'serve: loop {
+            // Ingress: admit (or shed) everything that has arrived.
+            while next_request < stream.len() && stream[next_request].arrival <= clock {
+                let r = &stream[next_request];
+                next_request += 1;
+                tracer.count(Counter::TenantRequests, 1);
+                let policy = config.policy(r.class);
+                if !buckets[r.tenant].admit(r.arrival) {
+                    shed_one(
+                        &mut shed,
+                        r.tenant,
+                        r.class,
+                        r.submit,
+                        r.arrival,
+                        r.arrival,
+                        ShedReason::RateLimited,
+                        false,
+                    );
+                    continue;
+                }
+                let queue = match r.class {
+                    SloClass::Interactive => &mut iq,
+                    SloClass::Batch => &mut bq,
+                };
+                if queue.len() >= policy.queue_cap {
+                    shed_one(
+                        &mut shed,
+                        r.tenant,
+                        r.class,
+                        r.submit,
+                        r.arrival,
+                        r.arrival,
+                        ShedReason::QueueFull,
+                        false,
+                    );
+                    continue;
+                }
+                admitted_count += 1;
+                tracer.count(Counter::RequestsAdmitted, 1);
+                queue.push_back(Pending {
+                    tenant: r.tenant,
+                    class: r.class,
+                    submit: r.submit,
+                    prompt: r.prompt.clone(),
+                    arrival: r.arrival,
+                    admitted: None,
+                    first_token: None,
+                    chunks_left: policy.chunks.max(1),
+                    output_tokens: policy.chunks.max(1) * config.wave_tokens,
+                    preemptions: 0,
+                });
+            }
+
+            // Idle: jump model time to the next arrival, or finish.
+            if iq.is_empty() && bq.is_empty() && inflight.is_empty() {
+                if next_request >= stream.len() {
+                    break 'serve;
+                }
+                clock = clock.max(stream[next_request].arrival);
+                continue 'serve;
+            }
+
+            // Chaos timeline: crashes and restores due by now.
+            while next_event < chaos_events.len() && chaos_events[next_event].at <= clock {
+                let ev = chaos_events[next_event];
+                next_event += 1;
+                if ev.node >= self.nodes() {
+                    continue;
+                }
+                match ev.kind {
+                    ChaosEventKind::Crash => self.fail_node(ev.node),
+                    ChaosEventKind::Restore => self.restore_node(ev.node),
+                }
+            }
+
+            // Deadline sheds: queues are arrival-ordered, pop stale fronts.
+            for (queue, policy) in [(&mut iq, &config.interactive), (&mut bq, &config.batch)] {
+                while let Some(front) = queue.front() {
+                    if clock - front.arrival > policy.deadline {
+                        let p = queue.pop_front().expect("peeked");
+                        shed_one(
+                            &mut shed,
+                            p.tenant,
+                            p.class,
+                            p.submit,
+                            p.arrival,
+                            clock,
+                            ShedReason::TimedOut,
+                            true,
+                        );
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if iq.is_empty() && bq.is_empty() && inflight.is_empty() {
+                continue 'serve;
+            }
+
+            // Total outage: wait for a scheduled recovery, else shed out.
+            if self.healthy_nodes() == 0 {
+                let revival = chaos_events[next_event..]
+                    .iter()
+                    .find(|e| e.kind == ChaosEventKind::Restore && e.node < self.nodes());
+                match revival {
+                    Some(e) => {
+                        clock = clock.max(e.at);
+                        continue 'serve;
+                    }
+                    None => break 'serve,
+                }
+            }
+
+            // Wave budget safety valve.
+            if waves >= config.max_waves {
+                break 'serve;
+            }
+
+            // Capacity control at the wave boundary.
+            if let Some(controller) = autoscaler.as_deref_mut() {
+                let healthy = self.healthy_nodes();
+                match controller.evaluate(healthy) {
+                    ScaleDecision::Hold => {}
+                    ScaleDecision::Up => {
+                        self.add_node();
+                        let rebalance = self.rebalance_experts();
+                        tracer.count(Counter::ScaleUps, 1);
+                        scale_events.push(ScaleEvent {
+                            wave: waves,
+                            at: clock,
+                            decision: ScaleDecision::Up,
+                            from_nodes: healthy,
+                            to_nodes: self.healthy_nodes(),
+                            moved_experts: rebalance.moved_experts,
+                            transfer_time: rebalance.transfer_time,
+                        });
+                    }
+                    ScaleDecision::Down => {
+                        let victim = (0..self.nodes())
+                            .rev()
+                            .find(|i| !self.failed_nodes().contains(i));
+                        if let Some(victim) = victim {
+                            if let Ok(rebalance) = self.drain_node(victim) {
+                                tracer.count(Counter::ScaleDowns, 1);
+                                scale_events.push(ScaleEvent {
+                                    wave: waves,
+                                    at: clock,
+                                    decision: ScaleDecision::Down,
+                                    from_nodes: healthy,
+                                    to_nodes: self.healthy_nodes(),
+                                    moved_experts: rebalance.moved_experts,
+                                    transfer_time: rebalance.transfer_time,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Compose the wave: continuing interactive, new interactive,
+            // then batch into whatever slots remain — interactive demand
+            // preempts in-flight batch at this boundary.
+            let capacity = config.per_node_slots.max(1) * self.healthy_nodes();
+            let mut wave: Vec<Pending> = Vec::new();
+            let mut continuing_batch: Vec<Pending> = Vec::new();
+            for p in inflight.drain(..) {
+                match p.class {
+                    SloClass::Interactive => wave.push(p),
+                    SloClass::Batch => continuing_batch.push(p),
+                }
+            }
+            while wave.len() < capacity {
+                let Some(mut p) = iq.pop_front() else { break };
+                if p.admitted.is_none() {
+                    p.admitted = Some(clock);
+                }
+                wave.push(p);
+            }
+            let mut bumped: Vec<Pending> = Vec::new();
+            for mut p in continuing_batch {
+                if wave.len() < capacity {
+                    wave.push(p);
+                } else {
+                    p.preemptions += 1;
+                    preemptions += 1;
+                    tracer.count(Counter::RequestsPreempted, 1);
+                    bumped.push(p);
+                }
+            }
+            for p in bumped.into_iter().rev() {
+                bq.push_front(p);
+            }
+            while wave.len() < capacity {
+                let Some(mut p) = bq.pop_front() else { break };
+                if p.admitted.is_none() {
+                    p.admitted = Some(clock);
+                }
+                wave.push(p);
+            }
+
+            // Serve it.
+            let slots: Vec<WaveSlot> = wave
+                .iter()
+                .map(|p| WaveSlot {
+                    prompt: p.prompt.clone(),
+                    prefill: p.first_token.is_none(),
+                })
+                .collect();
+            let outcome = match self.serve_wave(&slots, config.wave_tokens) {
+                Ok(outcome) => outcome,
+                Err(CoeError::NoHealthyNodes) => {
+                    // Fault-plan draws downed the rest mid-wave: requeue
+                    // and let the outage branch decide next iteration.
+                    let mut interactive: Vec<Pending> = Vec::new();
+                    let mut batch: Vec<Pending> = Vec::new();
+                    for p in wave {
+                        match p.class {
+                            SloClass::Interactive => interactive.push(p),
+                            SloClass::Batch => batch.push(p),
+                        }
+                    }
+                    for p in interactive.into_iter().rev() {
+                        iq.push_front(p);
+                    }
+                    for p in batch.into_iter().rev() {
+                        bq.push_front(p);
+                    }
+                    continue 'serve;
+                }
+                Err(e) => return Err(e),
+            };
+            waves += 1;
+            tracer.count(Counter::AdmissionWaves, 1);
+            rehomed += outcome.rehomed_experts;
+
+            // Chaos fault windows degrade the wave fabric: a slowdown
+            // stretches the wave, a failure retransmits it (×2).
+            let mut factor = 1.0;
+            if let Some(c) = chaos {
+                match c.decide(FaultSite::SocketLink, clock) {
+                    FaultDecision::Ok => {}
+                    FaultDecision::Slow(f) => {
+                        factor = f;
+                        slowdowns += 1;
+                    }
+                    FaultDecision::Fail => {
+                        factor = 2.0;
+                        retransmits += 1;
+                    }
+                }
+            }
+            let wave_start = clock;
+            let wave_latency = if factor == 1.0 {
+                outcome.latency
+            } else {
+                outcome.latency * factor
+            };
+            clock = wave_start + wave_latency;
+
+            // Settle slots: complete, keep in flight, or shed drops.
+            for (i, mut p) in wave.into_iter().enumerate() {
+                match outcome.placements[i] {
+                    WavePlacement::Dropped => {
+                        shed_one(
+                            &mut shed,
+                            p.tenant,
+                            p.class,
+                            p.submit,
+                            p.arrival,
+                            clock,
+                            ShedReason::CapacityLost,
+                            true,
+                        );
+                    }
+                    WavePlacement::Served {
+                        first_token, done, ..
+                    } => {
+                        if p.first_token.is_none() {
+                            let offset = if factor == 1.0 {
+                                first_token
+                            } else {
+                                first_token * factor
+                            };
+                            p.first_token = Some(wave_start + offset);
+                        }
+                        p.chunks_left -= 1;
+                        if p.chunks_left > 0 {
+                            inflight.push(p);
+                            continue;
+                        }
+                        let offset = if factor == 1.0 { done } else { done * factor };
+                        let record = TenantRecord {
+                            tenant: p.tenant,
+                            class: p.class,
+                            submit: p.submit,
+                            arrival: p.arrival,
+                            admitted: p.admitted.expect("served implies admitted"),
+                            first_token: p.first_token.expect("first chunk set it"),
+                            completed: wave_start + offset,
+                            output_tokens: p.output_tokens,
+                            preemptions: p.preemptions,
+                        };
+                        if record.class == SloClass::Interactive {
+                            if let Some(controller) = autoscaler.as_deref_mut() {
+                                controller.observe(BatchObservation {
+                                    latency: record.latency(),
+                                    ttft: record.ttft(),
+                                    prompts: 1,
+                                    tokens: record.output_tokens,
+                                    hbm_bytes: Bytes::ZERO,
+                                    ddr_bytes: Bytes::ZERO,
+                                });
+                            }
+                        }
+                        records.push(record);
+                    }
+                }
+            }
+        }
+
+        // Whatever is still in the system (total outage or wave budget)
+        // sheds as capacity loss; requests never ingested shed at their
+        // arrival, un-admitted.
+        for p in iq.drain(..).chain(bq.drain(..)).chain(inflight.drain(..)) {
+            shed_one(
+                &mut shed,
+                p.tenant,
+                p.class,
+                p.submit,
+                p.arrival,
+                clock,
+                ShedReason::CapacityLost,
+                true,
+            );
+        }
+        while next_request < stream.len() {
+            let r = &stream[next_request];
+            next_request += 1;
+            tracer.count(Counter::TenantRequests, 1);
+            shed_one(
+                &mut shed,
+                r.tenant,
+                r.class,
+                r.submit,
+                r.arrival,
+                r.arrival.max(clock),
+                ShedReason::CapacityLost,
+                false,
+            );
+        }
+
+        Ok(TenancyReport {
+            records,
+            shed,
+            scale_events,
+            waves,
+            makespan: clock,
+            submitted,
+            admitted: admitted_count,
+            pending: 0,
+            preemptions,
+            rehomed_experts: rehomed,
+            chaos_retransmits: retransmits,
+            chaos_slowdowns: slowdowns,
+            final_nodes: self.healthy_nodes(),
+            tenants: tenants.iter().map(|t| (t.name.clone(), t.class)).collect(),
+            config: config.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert::ExpertLibrary;
+    use sn_arch::NodeSpec;
+
+    fn cluster(nodes: usize) -> CoeCluster {
+        CoeCluster::new(NodeSpec::sn40l_node(), nodes, ExpertLibrary::new(120), 512).expect("fits")
+    }
+
+    fn interactive_tenant(requests: usize) -> TenantSpec {
+        TenantSpec {
+            name: "chat".into(),
+            class: SloClass::Interactive,
+            pattern: ArrivalPattern::Burst,
+            requests,
+            rate_limit: RateLimit::unlimited(),
+        }
+    }
+
+    fn batch_tenant(requests: usize) -> TenantSpec {
+        TenantSpec {
+            name: "lab".into(),
+            class: SloClass::Batch,
+            pattern: ArrivalPattern::Burst,
+            requests,
+            rate_limit: RateLimit::unlimited(),
+        }
+    }
+
+    #[test]
+    fn merged_stream_is_sorted_and_deterministic() {
+        let tenants = [
+            TenantSpec {
+                pattern: ArrivalPattern::Poisson { rate_rps: 50.0 },
+                ..interactive_tenant(20)
+            },
+            TenantSpec {
+                pattern: ArrivalPattern::BurstTrain {
+                    size: 5,
+                    period: TimeSecs::from_millis(40.0),
+                },
+                ..batch_tenant(15)
+            },
+        ];
+        let config = TenancyConfig::default();
+        let a = merged_stream(&tenants, &config);
+        let b = merged_stream(&tenants, &config);
+        assert_eq!(a.len(), 35);
+        assert!(
+            a.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "arrival-ordered"
+        );
+        assert!(a.iter().enumerate().all(|(i, r)| r.submit == i));
+        let fmt = |s: &[TenantRequest]| format!("{s:?}");
+        assert_eq!(fmt(&a), fmt(&b), "same seed, same stream");
+    }
+
+    #[test]
+    fn burst_of_interactive_requests_all_complete() {
+        let mut cluster = cluster(2);
+        let report = cluster
+            .serve_tenants(
+                &[interactive_tenant(12)],
+                &TenancyConfig::default(),
+                None,
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.submitted, 12);
+        assert_eq!(report.admitted, 12);
+        assert_eq!(report.records.len(), 12);
+        assert!(report.shed.is_empty());
+        assert!(report.conservation_holds());
+        assert!(report.waves >= 2, "12 requests > 8 slots: several waves");
+        for r in &report.records {
+            assert!(r.arrival <= r.admitted);
+            assert!(r.admitted < r.first_token);
+            assert!(r.first_token <= r.completed);
+            assert!(r.completed <= report.makespan);
+            assert_eq!(r.output_tokens, 8);
+        }
+        assert!(report.goodput_rps(SloClass::Interactive) > 0.0);
+    }
+
+    #[test]
+    fn token_bucket_sheds_rate_limited_requests() {
+        let mut cluster = cluster(2);
+        let tenant = TenantSpec {
+            rate_limit: RateLimit::per_sec(0.0, 5.0),
+            ..interactive_tenant(12)
+        };
+        let report = cluster
+            .serve_tenants(&[tenant], &TenancyConfig::default(), None, None)
+            .unwrap();
+        assert_eq!(report.shed_by(ShedReason::RateLimited), 7, "burst of 5");
+        assert_eq!(report.records.len(), 5);
+        assert_eq!(report.rejected(), 7);
+        assert!(report.conservation_holds());
+    }
+
+    #[test]
+    fn bounded_queue_sheds_queue_full() {
+        let mut cluster = cluster(2);
+        let mut config = TenancyConfig::default();
+        config.interactive.queue_cap = 4;
+        let report = cluster
+            .serve_tenants(&[interactive_tenant(30)], &config, None, None)
+            .unwrap();
+        // A t = 0 burst of 30 hits a queue bounded at 4: the burst beyond
+        // the cap sheds as backpressure.
+        assert_eq!(report.shed_by(ShedReason::QueueFull), 26);
+        assert_eq!(report.records.len(), 4);
+        assert!(report.conservation_holds());
+    }
+
+    #[test]
+    fn interactive_preempts_inflight_batch() {
+        let mut cluster = cluster(2);
+        let mut config = TenancyConfig::default();
+        config.batch.chunks = 6;
+        config.per_node_slots = 2; // 4 slots over 2 nodes
+        let tenants = [
+            // Batch backlog lands first and occupies the wave...
+            batch_tenant(8),
+            // ...then an interactive burst arrives and wants every slot.
+            TenantSpec {
+                pattern: ArrivalPattern::Poisson { rate_rps: 400.0 },
+                ..interactive_tenant(24)
+            },
+        ];
+        let report = cluster
+            .serve_tenants(&tenants, &config, None, None)
+            .unwrap();
+        assert!(report.preemptions > 0, "batch chunks must get bumped");
+        assert!(report.conservation_holds());
+        let batch_done: Vec<&TenantRecord> = report.class_records(SloClass::Batch).collect();
+        assert!(
+            batch_done.iter().any(|r| r.preemptions > 0),
+            "some completed batch request resumed after preemption"
+        );
+        assert!(
+            report.latency_percentile(SloClass::Interactive, 0.99)
+                < report.latency_percentile(SloClass::Batch, 0.99),
+            "priority shows in the per-class tail"
+        );
+    }
+
+    #[test]
+    fn deadline_sheds_timed_out_requests() {
+        let mut cluster = cluster(1);
+        let mut config = TenancyConfig {
+            per_node_slots: 1,
+            ..TenancyConfig::default()
+        };
+        config.interactive.deadline = TimeSecs::from_millis(1.0);
+        config.interactive.queue_cap = 64;
+        let report = cluster
+            .serve_tenants(&[interactive_tenant(24)], &config, None, None)
+            .unwrap();
+        assert!(
+            report.shed_by(ShedReason::TimedOut) > 0,
+            "a 1 ms deadline on a deep queue must expire requests"
+        );
+        assert!(report.conservation_holds());
+    }
+
+    #[test]
+    fn correlated_outage_degrades_and_recovers() {
+        let mut cluster = cluster(3);
+        let config = TenancyConfig {
+            batch: ClassPolicy {
+                chunks: 3,
+                ..TenancyConfig::default().batch
+            },
+            ..TenancyConfig::default()
+        };
+        // Kill 2 of 3 nodes almost immediately, restore mid-run (the
+        // scenario's single-survivor makespan is ~1 s).
+        let chaos = ChaosSchedule::new(5).with_outage(
+            &[1, 2],
+            TimeSecs::from_millis(1.0),
+            Some(TimeSecs::from_millis(500.0)),
+        );
+        let tenants = [interactive_tenant(16), batch_tenant(16)];
+        let report = cluster
+            .serve_tenants(&tenants, &config, Some(&chaos), None)
+            .unwrap();
+        assert!(report.conservation_holds());
+        assert!(
+            report.rehomed_experts > 0,
+            "dead homes must re-home onto the survivor"
+        );
+        assert_eq!(report.final_nodes, 3, "restored after the window");
+        assert_eq!(
+            report.records.len() + report.shed.len(),
+            32,
+            "every request accounted"
+        );
+    }
+
+    #[test]
+    fn permanent_total_outage_sheds_everything() {
+        let mut cluster = cluster(2);
+        let chaos = ChaosSchedule::new(1).with_outage(&[0, 1], TimeSecs::ZERO, None);
+        let report = cluster
+            .serve_tenants(
+                &[interactive_tenant(6)],
+                &TenancyConfig::default(),
+                Some(&chaos),
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.records.len(), 0);
+        assert_eq!(report.shed_by(ShedReason::CapacityLost), 6);
+        assert_eq!(report.final_nodes, 0);
+        assert!(report.conservation_holds());
+    }
+
+    #[test]
+    fn reports_are_deterministic_across_runs() {
+        let run = || {
+            let mut cluster = cluster(2);
+            let tenants = [
+                TenantSpec {
+                    pattern: ArrivalPattern::Poisson { rate_rps: 120.0 },
+                    ..interactive_tenant(20)
+                },
+                batch_tenant(10),
+            ];
+            let chaos = ChaosSchedule::new(9)
+                .with_outage(
+                    &[1],
+                    TimeSecs::from_millis(50.0),
+                    Some(TimeSecs::from_millis(400.0)),
+                )
+                .with_window(
+                    FaultSite::SocketLink,
+                    sn_faults::FaultSpec::slow(1.0, 1.5),
+                    TimeSecs::from_millis(50.0),
+                    TimeSecs::from_millis(400.0),
+                );
+            cluster
+                .serve_tenants(&tenants, &TenancyConfig::default(), Some(&chaos), None)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same scenario, byte-identical report");
+    }
+
+    #[test]
+    fn empty_tenant_list_yields_an_empty_report() {
+        let mut cluster = cluster(1);
+        let report = cluster
+            .serve_tenants(&[], &TenancyConfig::default(), None, None)
+            .unwrap();
+        assert_eq!(report.submitted, 0);
+        assert_eq!(report.waves, 0);
+        assert!(report.makespan.is_zero());
+        assert!(report.conservation_holds());
+        assert_eq!(
+            report.latency_percentile(SloClass::Interactive, 0.99),
+            TimeSecs::ZERO
+        );
+        assert_eq!(report.goodput_rps(SloClass::Batch), 0.0);
+    }
+}

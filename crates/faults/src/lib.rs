@@ -14,12 +14,18 @@
 //! - [`RetryPolicy`]: bounded retries with exponential backoff and a
 //!   per-attempt timeout, plus a generic retry driver that accounts the
 //!   wasted time so serving reports can expose a `recovery` component.
+//! - [`ChaosSchedule`]: non-stationary chaos on top of the plan —
+//!   [`FaultWindow`]s confine a spec to a model-time window and
+//!   [`NodeOutage`]s crash (and restore) correlated node sets together,
+//!   so degradation can be injected exactly at peak load.
 //!
 //! Everything here is simulation-side: a "fault" costs model time, not
 //! wall-clock time, and "backoff" is charged into latency reports.
 
+mod chaos;
 mod plan;
 mod retry;
 
+pub use chaos::{ChaosEvent, ChaosEventKind, ChaosSchedule, FaultWindow, NodeOutage};
 pub use plan::{FaultDecision, FaultPlan, FaultSite, FaultSpec, FaultStats, SiteStats};
 pub use retry::{Recovery, RetryError, RetryPolicy};

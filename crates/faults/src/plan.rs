@@ -73,7 +73,17 @@ impl FaultSpec {
     };
 
     /// Outright failures only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fail_rate` is outside `[0, 1]` (including NaN): a
+    /// probability typo should explode at construction, not silently
+    /// skew a chaos experiment.
     pub fn failing(fail_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fail_rate),
+            "invalid fault rates: fail_rate {fail_rate} outside [0, 1]"
+        );
         FaultSpec {
             fail_rate,
             slow_rate: 0.0,
@@ -82,7 +92,20 @@ impl FaultSpec {
     }
 
     /// Slowdowns only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slow_rate` is outside `[0, 1]` or `slow_factor` is
+    /// below 1 (a "slowdown" that speeds things up is a typo).
     pub fn slow(slow_rate: f64, slow_factor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&slow_rate),
+            "invalid fault rates: slow_rate {slow_rate} outside [0, 1]"
+        );
+        assert!(
+            slow_factor >= 1.0,
+            "slow_factor must be >= 1.0, got {slow_factor}"
+        );
         FaultSpec {
             fail_rate: 0.0,
             slow_rate,
@@ -90,7 +113,7 @@ impl FaultSpec {
         }
     }
 
-    fn validate(&self, site: FaultSite) {
+    pub(crate) fn validate(&self, site: FaultSite) {
         assert!(
             (0.0..=1.0).contains(&self.fail_rate)
                 && (0.0..=1.0).contains(&self.slow_rate)
@@ -200,6 +223,11 @@ impl FaultPlan {
     }
 
     /// A plan failing every site at the same rate (no slowdowns).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fail_rate` is outside `[0, 1]`, like
+    /// [`FaultSpec::failing`].
     pub fn uniform(seed: u64, fail_rate: f64) -> Self {
         let mut plan = FaultPlan::new(seed);
         for site in FaultSite::ALL {
@@ -268,7 +296,9 @@ impl FaultPlan {
 }
 
 /// Hash `(seed, site, draw index)` to a uniform draw in `[0, 1)`.
-fn unit_draw(seed: u64, site: u64, n: u64) -> f64 {
+/// Shared with the chaos scheduler (`crate::chaos`), which keys its
+/// window streams the same way so chaos draws never perturb plan draws.
+pub(crate) fn unit_draw(seed: u64, site: u64, n: u64) -> f64 {
     let mut z = seed
         .wrapping_add(site.wrapping_mul(0xA076_1D64_78BD_642F))
         .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -369,6 +399,49 @@ mod tests {
                 slow_factor: 2.0,
             },
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault rates")]
+    fn failing_rejects_rate_above_one() {
+        let _ = FaultSpec::failing(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault rates")]
+    fn failing_rejects_negative_rate() {
+        let _ = FaultSpec::failing(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault rates")]
+    fn failing_rejects_nan_rate() {
+        let _ = FaultSpec::failing(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault rates")]
+    fn slow_rejects_rate_above_one() {
+        let _ = FaultSpec::slow(1.01, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow_factor must be >= 1.0")]
+    fn slow_rejects_speedup_factor() {
+        let _ = FaultSpec::slow(0.5, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault rates")]
+    fn uniform_rejects_out_of_range_rate() {
+        let _ = FaultPlan::uniform(0, 2.0);
+    }
+
+    #[test]
+    fn boundary_rates_are_accepted() {
+        assert_eq!(FaultSpec::failing(0.0), FaultSpec::NONE);
+        assert_eq!(FaultSpec::failing(1.0).fail_rate, 1.0);
+        assert_eq!(FaultSpec::slow(1.0, 1.0).slow_rate, 1.0);
     }
 
     #[test]

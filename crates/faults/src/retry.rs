@@ -43,9 +43,24 @@ impl RetryPolicy {
         }
     }
 
-    /// Backoff charged after failed attempt number `attempt` (0-based).
+    /// Ceiling on a single backoff charge. Exponential growth overflows
+    /// `f64` range around attempt ~1000 with the standard multiplier;
+    /// long before that the charge stops modeling anything physical, so
+    /// one backoff never exceeds this bound (one minute of model time).
+    pub const MAX_BACKOFF: TimeSecs = TimeSecs::from_secs(60.0);
+
+    /// Backoff charged after failed attempt number `attempt` (0-based),
+    /// capped at [`RetryPolicy::MAX_BACKOFF`] so absurd attempt counts
+    /// cannot overflow to infinity (or NaN) and poison every downstream
+    /// latency sum. Below the cap the arithmetic is untouched —
+    /// small-attempt charges stay bit-identical to the uncapped form.
     pub fn backoff(&self, attempt: u32) -> TimeSecs {
-        self.base_backoff * self.backoff_multiplier.powi(attempt as i32)
+        let raw = self.base_backoff * self.backoff_multiplier.powi(attempt.min(4096) as i32);
+        if raw.as_secs().is_finite() {
+            raw.min(Self::MAX_BACKOFF)
+        } else {
+            Self::MAX_BACKOFF
+        }
     }
 
     /// The wasted time charged for one failed attempt that would have
@@ -144,6 +159,34 @@ mod tests {
             policy.backoff(2).as_secs(),
             policy.backoff(0).as_secs() * 4.0
         );
+    }
+
+    #[test]
+    fn backoff_is_capped_at_large_attempt_counts() {
+        let policy = RetryPolicy::standard();
+        // Well past f64 overflow territory for 2^n growth: the charge
+        // must stay finite and pinned at the cap, not inf/NaN.
+        for attempt in [60, 1_000, 100_000, u32::MAX] {
+            let b = policy.backoff(attempt);
+            assert!(b.as_secs().is_finite(), "attempt {attempt}: {b}");
+            assert_eq!(b, RetryPolicy::MAX_BACKOFF, "attempt {attempt}");
+        }
+        // Below the cap, the exponential form is untouched.
+        assert_eq!(
+            policy.backoff(3).as_secs(),
+            policy.base_backoff.as_secs() * 8.0
+        );
+    }
+
+    #[test]
+    fn backoff_cap_survives_extreme_multipliers() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff: TimeSecs::from_secs(1.0),
+            backoff_multiplier: f64::MAX,
+            attempt_timeout: TimeSecs::from_millis(250.0),
+        };
+        assert_eq!(policy.backoff(2), RetryPolicy::MAX_BACKOFF);
     }
 
     #[test]

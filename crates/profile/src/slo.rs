@@ -291,6 +291,58 @@ mod tests {
     }
 
     #[test]
+    fn zero_window_is_promoted_to_one() {
+        let mut t = SloTracker::new(machine(), SloConfig { window: 0 });
+        assert!(t.snapshot().is_none(), "still empty before any batch");
+        t.record(obs(10.0, 1.0, 160));
+        t.record(obs(90.0, 9.0, 160));
+        let s = t.snapshot().unwrap();
+        // A window of zero would make every snapshot None forever; the
+        // tracker promotes it to 1 so the latest batch is always visible.
+        assert_eq!(s.window_batches, 1);
+        assert_eq!(s.total_batches, 2);
+        assert!((s.batch_latency_p50.as_millis() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_of_one_tracks_only_the_latest_batch() {
+        let mut t = SloTracker::new(machine(), SloConfig { window: 1 });
+        for ms in [500.0, 20.0, 80.0] {
+            t.record(obs(ms, ms / 10.0, 160));
+        }
+        let s = t.snapshot().unwrap();
+        assert_eq!(s.window_batches, 1);
+        assert_eq!(s.total_batches, 3);
+        // Every percentile collapses to the single resident sample.
+        assert_eq!(s.batch_latency_p50, s.batch_latency_p95);
+        assert_eq!(s.batch_latency_p95, s.batch_latency_p99);
+        assert!((s.batch_latency_p99.as_millis() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_boundary_is_exact() {
+        let window = 4;
+        let mut t = SloTracker::new(machine(), SloConfig { window });
+        // Fill to exactly the window: nothing evicted yet, the first
+        // batch still dominates the tail.
+        t.record(obs(1000.0, 1.0, 160));
+        for _ in 0..window - 1 {
+            t.record(obs(10.0, 1.0, 160));
+        }
+        let s = t.snapshot().unwrap();
+        assert_eq!(s.window_batches, window);
+        assert!((s.batch_latency_p99.as_millis() - 1000.0).abs() < 1e-9);
+        // One more batch crosses the boundary: the outlier is the oldest
+        // and must be the one evicted, window size stays pinned.
+        t.record(obs(10.0, 1.0, 160));
+        let s = t.snapshot().unwrap();
+        assert_eq!(s.window_batches, window);
+        assert_eq!(s.total_batches, window + 1);
+        assert!((s.batch_latency_p99.as_millis() - 10.0).abs() < 1e-9);
+        assert!((s.batch_latency_p50.as_millis() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn utilization_gauges_reflect_demand_over_serving_time() {
         let m = machine();
         let mut t = SloTracker::new(m, SloConfig::default());

@@ -106,11 +106,29 @@ pub enum Counter {
     /// wave pays one router pass over its newly admitted requests (PR 4
     /// online serving).
     AdmissionWaves,
+    /// Unit: requests. Requests submitted through the multi-tenant
+    /// frontend, before any admission control (PR 6 tenancy).
+    TenantRequests,
+    /// Unit: requests. Requests shed by admission control or the engine —
+    /// rate-limited, queue-full, timed out, or lost to capacity (PR 6
+    /// tenancy; every shed is a first-class report outcome).
+    RequestsShed,
+    /// Unit: requests. In-flight batch-class requests bumped from a wave
+    /// by interactive traffic at a wave boundary; progress is kept and
+    /// they resume later (PR 6 tenancy).
+    RequestsPreempted,
+    /// Unit: events. Capacity-controller scale-up actions: a node added
+    /// and experts rebalanced onto it (PR 6 autoscaling).
+    ScaleUps,
+    /// Unit: events. Capacity-controller scale-down actions: a node
+    /// drained (experts re-homed off it) and taken out of service (PR 6
+    /// autoscaling).
+    ScaleDowns,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 32] = [
         Counter::PmuAccessCycles,
         Counter::PmuBankConflictCycles,
         Counter::PcusOccupied,
@@ -138,6 +156,11 @@ impl Counter {
         Counter::PromptsDropped,
         Counter::RequestsAdmitted,
         Counter::AdmissionWaves,
+        Counter::TenantRequests,
+        Counter::RequestsShed,
+        Counter::RequestsPreempted,
+        Counter::ScaleUps,
+        Counter::ScaleDowns,
     ];
 
     /// Number of counters (size of the tracer's accumulation array).
@@ -178,6 +201,11 @@ impl Counter {
             Counter::PromptsDropped => "prompts_dropped",
             Counter::RequestsAdmitted => "requests_admitted",
             Counter::AdmissionWaves => "admission_waves",
+            Counter::TenantRequests => "tenant_requests",
+            Counter::RequestsShed => "requests_shed",
+            Counter::RequestsPreempted => "requests_preempted",
+            Counter::ScaleUps => "scale_ups",
+            Counter::ScaleDowns => "scale_downs",
         }
     }
 
@@ -206,8 +234,12 @@ impl Counter {
             Counter::PromptsServed | Counter::PromptsDropped => "prompts",
             Counter::RetriesAbsorbed => "retries",
             Counter::ExpertsRehomed => "experts",
-            Counter::RequestsAdmitted => "requests",
+            Counter::RequestsAdmitted
+            | Counter::TenantRequests
+            | Counter::RequestsShed
+            | Counter::RequestsPreempted => "requests",
             Counter::AdmissionWaves => "waves",
+            Counter::ScaleUps | Counter::ScaleDowns => "events",
         }
     }
 }

@@ -29,4 +29,14 @@ if ! diff -u /tmp/serve_jobs1.out /tmp/serve_jobs4.out; then
 fi
 rm -f /tmp/serve_jobs1.out /tmp/serve_jobs4.out
 
+echo "==> repro tenants chaos smoke (correlated-failure window, --jobs parity)"
+./target/release/repro --jobs 1 tenants > /tmp/tenants_jobs1.out
+./target/release/repro --jobs 2 tenants > /tmp/tenants_jobs2.out
+if ! diff -u /tmp/tenants_jobs1.out /tmp/tenants_jobs2.out; then
+  echo "tenants sweep output differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+grep -q "MULTI-TENANT CHAOS" /tmp/tenants_jobs1.out
+rm -f /tmp/tenants_jobs1.out /tmp/tenants_jobs2.out
+
 echo "All checks passed."
