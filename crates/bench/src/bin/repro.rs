@@ -4,6 +4,7 @@
 //! repro [--jobs N] [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|ablations|--faults|all]
 //! repro [--jobs N] [--time] serve
 //! repro [--jobs N] tenants
+//! repro [--jobs N] placement
 //! repro --trace [out.json]
 //! repro --profile
 //! repro [--jobs N] --bench-json [out.json]
@@ -38,6 +39,11 @@
 //! burst, and an SLO-driven autoscaler — over an offered-load
 //! multiplier, printing per-class p99 latency and goodput plus shed /
 //! preempt / scale counts for every row.
+//!
+//! `placement` sweeps the router-statistics serving policies (predictive
+//! prefetch, hot-expert replication, cold re-homing, paged KV cache)
+//! against the reactive baseline on one HBM-pressured chaos scenario,
+//! printing hit rate, switch-bound share, and prefetch-waste per row.
 //!
 //! `--bench-json` writes the continuous-benchmark snapshot — every
 //! tracked key figure with its tolerance — for `scripts/bench_check.sh`.
@@ -351,6 +357,72 @@ fn run_tenants(jobs: usize) {
     );
 }
 
+fn run_placement(jobs: usize) {
+    use sn_bench::placement;
+    hr(&format!(
+        "PLACEMENT POLICIES: reactive vs stats-driven serving, {} experts on {} nodes, \
+         kill node {} during {}..{}",
+        placement::SWEEP_EXPERTS,
+        placement::SWEEP_NODES,
+        placement::OUTAGE_NODE,
+        placement::OUTAGE_START,
+        placement::OUTAGE_END,
+    ));
+    println!(
+        "{:<6} {:<6} {:<6} {:>6} {:>11} {:>7} {:>11} {:>8} {:>8} {:>6} {:>10} {:>6} {:>6} {:>8}",
+        "Load",
+        "Polcy",
+        "Chaos",
+        "Waves",
+        "Makespan",
+        "HitRate",
+        "SwitchTime",
+        "Switch%",
+        "Prefetch",
+        "PfAcc",
+        "PfWasted",
+        "Repl",
+        "Moves",
+        "KV in/ev"
+    );
+    let points = placement::placement_sweep_jobs(jobs);
+    for p in &points {
+        println!(
+            "{:<6} {:<6} {:<6} {:>6} {:>11} {:>7.3} {:>11} {:>7.1}% {:>8} {:>6} {:>10} {:>6} \
+             {:>6} {:>8}",
+            format!("{:.1}x", p.case.load),
+            if p.case.policies { "on" } else { "off" },
+            if p.case.chaos { "on" } else { "off" },
+            p.waves,
+            p.makespan.to_string(),
+            p.hit_rate,
+            p.switch_time.to_string(),
+            100.0 * p.switch_bound_fraction,
+            p.prefetch_issued,
+            if p.prefetch_issued > 0 {
+                format!("{:.2}", p.prefetch_accuracy)
+            } else {
+                "-".to_string()
+            },
+            p.prefetch_wasted.to_string(),
+            p.experts_replicated,
+            p.cold_moves,
+            format!("{}/{}", p.kv_pages_in, p.kv_pages_evicted),
+        );
+        assert!(p.conserved, "request conservation must hold at every point");
+        assert!(
+            p.kv_pages_in >= p.kv_pages_evicted,
+            "KV page conservation must hold at every point"
+        );
+    }
+    println!(
+        "\npolicies on: router statistics drive hot-expert replication, cold re-homing, and \
+         speculative\nDDR->HBM prefetch at wave boundaries; mispredictions expire as wasted \
+         bandwidth (PfWasted).\nUnder the chaos rows the managed cluster holds a higher HBM hit \
+         rate and sheds switch time\nrelative to the reactive baseline on the same scenario."
+    );
+}
+
 fn run_ablations() {
     hr("ABLATIONS (design choices from DESIGN.md)");
     println!(
@@ -510,7 +582,7 @@ fn usage_exit(complaint: &str) -> ! {
     eprintln!("{complaint}");
     eprintln!(
         "usage: repro [--jobs N] [--time] [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|\
-         ablations|extensions|serve|tenants|--faults|--trace [out.json]|--profile|\
+         ablations|extensions|serve|tenants|placement|--faults|--trace [out.json]|--profile|\
          --bench-json [out.json]|--bench-check <baseline> [current]|all]"
     );
     std::process::exit(2);
@@ -550,7 +622,7 @@ fn main() {
             return;
         }
         "bench-json" | "--bench-json" => {
-            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR5.json");
+            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR7.json");
             run_bench_json(path, jobs);
             return;
         }
@@ -578,6 +650,7 @@ fn main() {
         "faults" | "--faults" => run_faults(jobs),
         "serve" | "--serve" => run_serve(jobs, timed),
         "tenants" | "--tenants" => run_tenants(jobs),
+        "placement" | "--placement" => run_placement(jobs),
         "all" => {
             table1();
             table2();
@@ -591,6 +664,7 @@ fn main() {
             run_faults(jobs);
             run_serve(jobs, timed);
             run_tenants(jobs);
+            run_placement(jobs);
             run_ablations();
         }
         other => usage_exit(&format!("unknown experiment '{other}'")),

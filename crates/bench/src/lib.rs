@@ -9,6 +9,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod faults;
 pub mod par;
+pub mod placement;
 pub mod profile;
 pub mod serve;
 pub mod tenants;

@@ -104,6 +104,7 @@ enum SnapshotTask {
     Table3,
     Profiled,
     SweepPoint(f64),
+    PlacementPoint(crate::placement::PlacementCase),
 }
 
 /// The result of one [`SnapshotTask`].
@@ -113,6 +114,7 @@ enum SnapshotPart {
     Table3(Vec<experiments::Table3Row>),
     Profiled(Box<ProfiledRun>),
     SweepPoint(crate::serve::ServeSweepPoint),
+    PlacementPoint(Box<crate::placement::PlacementSweepPoint>),
 }
 
 /// Builds the tracked-metric snapshot for the continuous-benchmark
@@ -141,11 +143,24 @@ pub fn bench_snapshot_jobs(jobs: usize) -> BenchSnapshot {
             .iter()
             .map(|&r| SnapshotTask::SweepPoint(r)),
     );
+    // The placement acceptance pair: reactive vs managed serving on the
+    // bursty 2x chaos scenario (the headline hit-rate / switch-bound
+    // deltas of `repro placement`).
+    for policies in [false, true] {
+        tasks.push(SnapshotTask::PlacementPoint(
+            crate::placement::PlacementCase {
+                policies,
+                chaos: true,
+                load: 2.0,
+            },
+        ));
+    }
     let mut fig1 = None;
     let mut fig12 = None;
     let mut table3 = None;
     let mut run = None;
     let mut points = Vec::with_capacity(crate::serve::SWEEP_RATES.len());
+    let mut placement_points = Vec::new();
     for part in crate::par::ordered_map(jobs, &tasks, |_, task| match task {
         SnapshotTask::Fig1 => SnapshotPart::Fig1(experiments::fig1()),
         SnapshotTask::Fig12 => SnapshotPart::Fig12(experiments::fig12(8)),
@@ -153,6 +168,9 @@ pub fn bench_snapshot_jobs(jobs: usize) -> BenchSnapshot {
         SnapshotTask::Profiled => SnapshotPart::Profiled(Box::new(profiled_fig12_run(150, 8, 4))),
         SnapshotTask::SweepPoint(rate) => {
             SnapshotPart::SweepPoint(crate::serve::serve_point(*rate))
+        }
+        SnapshotTask::PlacementPoint(case) => {
+            SnapshotPart::PlacementPoint(Box::new(crate::placement::placement_point(*case)))
         }
     }) {
         match part {
@@ -162,6 +180,7 @@ pub fn bench_snapshot_jobs(jobs: usize) -> BenchSnapshot {
             SnapshotPart::Profiled(v) => run = Some(*v),
             // ordered_map keeps input order, so points land rate-sorted.
             SnapshotPart::SweepPoint(p) => points.push(p),
+            SnapshotPart::PlacementPoint(p) => placement_points.push(*p),
         }
     }
     let (fig1, fig12, table3, run) = (
@@ -302,6 +321,54 @@ pub fn bench_snapshot_jobs(jobs: usize) -> BenchSnapshot {
     match crate::serve::knee_rps(&points) {
         Some(knee) => snap.push_num("serve_online.knee_rps", knee, "rps", 0.0),
         None => snap.push_text("serve_online.knee_rps", "none"),
+    }
+
+    // Placement-policy acceptance pair: the managed row must keep its
+    // hit-rate and switch-bound edge over the reactive row (the exact
+    // event counts are deterministic, so they ride at zero tolerance).
+    for p in &placement_points {
+        let key = if p.case.policies {
+            "placement.chaos2x.managed"
+        } else {
+            "placement.chaos2x.reactive"
+        };
+        snap.push_num(&format!("{key}.hit_rate"), p.hit_rate, "fraction", 0.02);
+        snap.push_num(
+            &format!("{key}.switch_bound_fraction"),
+            p.switch_bound_fraction,
+            "fraction",
+            0.02,
+        );
+        snap.push_num(
+            &format!("{key}.makespan_ms"),
+            p.makespan.as_millis(),
+            "ms",
+            0.02,
+        );
+        snap.push_num(
+            &format!("{key}.prefetch_issued"),
+            p.prefetch_issued as f64,
+            "count",
+            0.0,
+        );
+        snap.push_num(
+            &format!("{key}.experts_replicated"),
+            p.experts_replicated as f64,
+            "count",
+            0.0,
+        );
+        snap.push_num(
+            &format!("{key}.cold_moves"),
+            p.cold_moves as f64,
+            "count",
+            0.0,
+        );
+        snap.push_num(
+            &format!("{key}.kv_pages_evicted"),
+            p.kv_pages_evicted as f64,
+            "count",
+            0.0,
+        );
     }
     snap
 }

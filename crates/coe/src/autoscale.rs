@@ -18,6 +18,43 @@
 //! [`CoeCluster::drain_node`](crate::CoeCluster::drain_node) and records
 //! each action as a [`ScaleEvent`]. Everything runs in model time and is
 //! deterministic: same observations, same decisions.
+//!
+//! # Examples
+//!
+//! Feed slow interactive completions into the controller until its
+//! patience runs out and it asks for a node:
+//!
+//! ```
+//! use sn_arch::{Bytes, NodeSpec, TimeSecs};
+//! use sn_coe::autoscale::{AutoscaleConfig, AutoscaleController, ScaleDecision};
+//! use sn_profile::{BatchObservation, MachineProfile};
+//!
+//! let mut ctl = AutoscaleController::new(
+//!     MachineProfile::from_node(&NodeSpec::sn40l_node()),
+//!     AutoscaleConfig {
+//!         min_nodes: 1,
+//!         max_nodes: 4,
+//!         latency_high: TimeSecs::from_secs(0.5),
+//!         latency_low: TimeSecs::from_secs(0.1),
+//!         patience: 2,
+//!         cooldown: 2,
+//!         window: 8,
+//!     },
+//! );
+//! let slow = BatchObservation {
+//!     latency: TimeSecs::from_secs(1.0),
+//!     ttft: TimeSecs::from_secs(0.2),
+//!     prompts: 8,
+//!     tokens: 160,
+//!     hbm_bytes: Bytes::from_gib(64),
+//!     ddr_bytes: Bytes::ZERO,
+//! };
+//! ctl.observe(slow);
+//! assert_eq!(ctl.evaluate(2), ScaleDecision::Hold); // 1st breach: patience
+//! ctl.observe(slow);
+//! assert_eq!(ctl.evaluate(2), ScaleDecision::Up); // 2nd consecutive breach
+//! assert_eq!(ctl.evaluate(3), ScaleDecision::Hold); // cooldown holds
+//! ```
 
 use serde::{Deserialize, Serialize};
 use sn_arch::TimeSecs;

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use sn_arch::{Bytes, Calibration, NodeSpec, Orchestration, TimeSecs};
 use sn_compiler::{Compiler, Executable, FusionPolicy};
 use sn_faults::{FaultDecision, FaultPlan, FaultSite, RetryPolicy};
+use sn_memsim::dma::{DmaEngine, Route};
 use sn_models::{build, Phase};
 use sn_profile::{BatchObservation, MachineProfile, SloConfig, SloSnapshot, SloTracker};
 use sn_runtime::coe::{CoeError, CoeRuntime, CoeRuntimeConfig, ModelBinary};
@@ -133,6 +134,11 @@ pub struct WaveOutcome {
     pub placements: Vec<WavePlacement>,
     /// Cold expert activations in this wave.
     pub expert_misses: usize,
+    /// Warm expert activations in this wave (already HBM-resident).
+    pub expert_hits: usize,
+    /// DDR→HBM switch time charged inside `latency` for this wave's
+    /// cold activations, summed across nodes.
+    pub switch_time: TimeSecs,
     /// Experts re-homed onto survivors during this wave.
     pub rehomed_experts: usize,
     /// Re-homing transfer time charged inside `latency`.
@@ -170,6 +176,22 @@ pub struct CoeCluster {
     /// Current DDR home of each expert; starts round-robin and moves to a
     /// survivor when the home node fails.
     homes: Vec<usize>,
+    /// Extra nodes holding a DDR replica of each expert's weights,
+    /// created by stats-driven placement (PR 7). Empty (the reactive
+    /// single-home deployment) until [`CoeCluster::apply_placement`]
+    /// replicates something — the serving arithmetic is then
+    /// bit-identical to the pre-placement path.
+    replicas: Vec<Vec<usize>>,
+    /// Experts staged into HBM speculatively and not yet claimed by a
+    /// demand activation; unclaimed entries expire (as wasted bytes) at
+    /// the next prefetch boundary.
+    prefetched: std::collections::BTreeSet<usize>,
+    /// Running totals for the prefetch policy loop.
+    prefetch_hits: u64,
+    prefetch_wasted: Bytes,
+    /// DMA model that charges prefetch and replication traffic at real
+    /// DDR→HBM bandwidth (rides the memsim ledger and counters).
+    dma: DmaEngine,
     /// Nodes currently down (forced via [`CoeCluster::fail_node`] or drawn
     /// from the fault plan).
     failed: Vec<bool>,
@@ -227,6 +249,8 @@ impl CoeCluster {
                 library.expert_bytes(),
             ))?;
         }
+        let dma = DmaEngine::new(&node.socket);
+        let n_experts = library.len();
         let executor = NodeExecutor::new(node, calib.clone());
         let homes = (0..library.len()).map(|e| e % nodes).collect();
         Ok(CoeCluster {
@@ -238,6 +262,11 @@ impl CoeCluster {
             decode_exe,
             router_steps: calib.router_equiv_decode_steps,
             homes,
+            replicas: vec![Vec::new(); n_experts],
+            prefetched: std::collections::BTreeSet::new(),
+            prefetch_hits: 0,
+            prefetch_wasted: Bytes::ZERO,
+            dma,
             failed: vec![false; nodes],
             faults: None,
             retry: RetryPolicy::standard(),
@@ -275,6 +304,7 @@ impl CoeCluster {
             .map(|rt| rt.with_tracer(tracer.clone()))
             .collect();
         self.executor = self.executor.with_tracer(tracer.clone());
+        self.dma = self.dma.with_tracer(tracer.clone());
         self.tracer = tracer;
         self
     }
@@ -303,6 +333,53 @@ impl CoeCluster {
     /// re-homes it).
     pub fn owner(&self, expert: usize) -> usize {
         self.homes[expert]
+    }
+
+    /// Replica nodes (beyond the home) currently holding an expert's
+    /// weights in DDR.
+    pub fn replica_nodes(&self, expert: usize) -> &[usize] {
+        &self.replicas[expert]
+    }
+
+    /// The expert a prompt routes to (the router is pure, so observing a
+    /// route does not change any serving outcome).
+    pub fn routed_expert(&self, prompt: &Prompt) -> usize {
+        self.router.route(prompt, self.library.len())
+    }
+
+    /// Number of experts in the deployed library.
+    pub fn n_experts(&self) -> usize {
+        self.library.len()
+    }
+
+    /// Bytes of one expert's weights.
+    pub fn expert_bytes(&self) -> Bytes {
+        self.library.expert_bytes()
+    }
+
+    /// Picks the healthy node to serve an expert: the home when no
+    /// replicas exist (the exact pre-placement arithmetic), otherwise
+    /// the least-loaded healthy holder (ties to the lowest index).
+    /// `None` when neither the home nor any replica is healthy.
+    fn serving_node(&self, expert: usize, loads: &[usize]) -> Option<usize> {
+        let home = self.homes[expert];
+        if self.replicas[expert].is_empty() {
+            return (!self.failed[home]).then_some(home);
+        }
+        let mut holders: Vec<usize> = std::iter::once(home)
+            .chain(self.replicas[expert].iter().copied())
+            .filter(|&n| !self.failed[n])
+            .collect();
+        holders.sort_unstable();
+        holders.dedup();
+        // Prefer a holder whose HBM is already warm: bouncing a
+        // replicated expert between holders on load ties would re-pay
+        // the switch on every bounce. Residency is a pure query, so
+        // this cannot perturb LRU state.
+        let name = &self.library.expert(expert).name;
+        holders
+            .into_iter()
+            .min_by_key(|&n| (!self.runtimes[n].is_resident(name), loads[n], n))
     }
 
     /// Forces a node down: its prompts re-route to survivors on the next
@@ -451,21 +528,32 @@ impl CoeCluster {
         let mut per_node_prompts = vec![0usize; nodes];
         let mut per_node_switch = vec![TimeSecs::ZERO; nodes];
         let mut misses = 0;
-        let mut seen = std::collections::HashSet::new();
+        // Each expert serves on one node per batch: its home, or (with
+        // placement replicas) the least-loaded healthy holder, pinned at
+        // first activation so later prompts reuse the warmed node.
+        let mut chosen: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         for p in prompts {
             let e = self.router.route(p, n_experts);
-            let owner = self.owner(e);
-            per_node_prompts[owner] += 1;
-            if seen.insert(e) {
-                let name = self.library.expert(e).name.as_str();
-                let outcome = self.runtimes[owner]
-                    .activate(name)
-                    .expect("expert registered on owner");
-                if !outcome.hit {
-                    misses += 1;
+            let owner = match chosen.get(&e) {
+                Some(&n) => n,
+                None => {
+                    let n = self
+                        .serving_node(e, &per_node_prompts)
+                        .unwrap_or_else(|| self.owner(e));
+                    let name = self.library.expert(e).name.as_str();
+                    let outcome = self.runtimes[n]
+                        .activate(name)
+                        .expect("expert registered on serving node");
+                    if !outcome.hit {
+                        misses += 1;
+                    }
+                    self.claim_prefetch(e, outcome.hit);
+                    per_node_switch[n] += outcome.switch_time;
+                    chosen.insert(e, n);
+                    n
                 }
-                per_node_switch[owner] += outcome.switch_time;
-            }
+            };
+            per_node_prompts[owner] += 1;
         }
         let router = self.router_time();
         let (prefill_unit, decode_unit) = self.unit_run_times(output_tokens);
@@ -601,6 +689,7 @@ impl CoeCluster {
         let mut per_node_recovery = vec![TimeSecs::ZERO; nodes];
         let mut per_node_penalty = vec![TimeSecs::ZERO; nodes];
         let mut misses = 0;
+        let mut hits = 0;
         let mut rehomed = 0;
         let mut dropped = 0;
         // Expert -> node it is serving on this batch, or None if its load
@@ -620,6 +709,7 @@ impl CoeCluster {
                         &mut per_node_recovery,
                         &mut per_node_penalty,
                         &mut misses,
+                        &mut hits,
                         &mut rehomed,
                     )?;
                     placed.insert(e, t);
@@ -684,6 +774,11 @@ impl CoeCluster {
     /// charging switch, recovery, and failover costs to the serving node.
     /// Returns the serving node, or `None` when the prompt set for this
     /// expert must drop.
+    ///
+    /// With placement replicas, a healthy replica both spreads load (the
+    /// least-loaded healthy holder serves) and makes failover free: a
+    /// dead home whose weights already live on a healthy replica skips
+    /// the adoption transfer entirely.
     #[allow(clippy::too_many_arguments)]
     fn place_expert(
         &mut self,
@@ -694,11 +789,14 @@ impl CoeCluster {
         per_node_recovery: &mut [TimeSecs],
         per_node_penalty: &mut [TimeSecs],
         misses: &mut usize,
+        hits: &mut usize,
         rehomed: &mut usize,
     ) -> Result<Option<usize>, CoeError> {
-        let home = self.homes[expert];
-        let serving = if self.failed[home] {
-            match self.adopt_expert(expert, loads)? {
+        let serving = match self.serving_node(expert, loads) {
+            Some(node) => node,
+            // Neither the home nor any replica is healthy: classic
+            // adoption onto a survivor, with the re-homing transfer.
+            None => match self.adopt_expert(expert, loads)? {
                 Some((survivor, newly_homed)) => {
                     if newly_homed {
                         *rehomed += 1;
@@ -707,16 +805,17 @@ impl CoeCluster {
                     survivor
                 }
                 None => return Ok(None),
-            }
-        } else {
-            home
+            },
         };
         let name = self.library.expert(expert).name.as_str();
         match self.runtimes[serving].activate_with_recovery(name) {
             Ok((outcome, recovery)) => {
-                if !outcome.hit {
+                if outcome.hit {
+                    *hits += 1;
+                } else {
                     *misses += 1;
                 }
+                self.claim_prefetch(expert, outcome.hit);
                 per_node_switch[serving] += outcome.switch_time;
                 per_node_recovery[serving] += recovery.time;
                 Ok(Some(serving))
@@ -725,6 +824,30 @@ impl CoeCluster {
             // this batch drops (the weights in DDR are suspect).
             Err(CoeError::LoadFault { .. }) => Ok(None),
             Err(e) => Err(e),
+        }
+    }
+
+    /// Settles a prefetched expert against its demand outcome: a hit
+    /// means the speculation paid off; a miss means the staged weights
+    /// left HBM before the router arrived and the transfer was wasted.
+    /// A no-op while the prefetch set is empty, so runs without a
+    /// prefetch policy are untouched.
+    fn claim_prefetch(&mut self, expert: usize, hit: bool) {
+        if !self.prefetched.remove(&expert) {
+            return;
+        }
+        if hit {
+            self.prefetch_hits += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.count(Counter::PrefetchHits, 1);
+            }
+        } else {
+            let bytes = self.library.expert_bytes();
+            self.prefetch_wasted += bytes;
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .count(Counter::PrefetchWastedBytes, bytes.as_u64());
+            }
         }
     }
 
@@ -941,6 +1064,7 @@ impl CoeCluster {
         let mut per_node_recovery = vec![TimeSecs::ZERO; nodes];
         let mut per_node_penalty = vec![TimeSecs::ZERO; nodes];
         let mut misses = 0;
+        let mut hits = 0;
         let mut rehomed = 0;
         let mut placed: std::collections::HashMap<usize, Option<usize>> =
             std::collections::HashMap::new();
@@ -958,6 +1082,7 @@ impl CoeCluster {
                         &mut per_node_recovery,
                         &mut per_node_penalty,
                         &mut misses,
+                        &mut hits,
                         &mut rehomed,
                     )?;
                     placed.insert(e, t);
@@ -1020,12 +1145,207 @@ impl CoeCluster {
             prompts_per_node: per_node_prompts,
             placements,
             expert_misses: misses,
+            expert_hits: hits,
+            switch_time: per_node_switch.iter().copied().sum(),
             rehomed_experts: rehomed,
             failover_penalty: per_node_penalty.iter().copied().sum(),
             recovery: per_node_recovery.iter().copied().sum(),
             failed_nodes: self.failed_nodes(),
         })
     }
+
+    /// Snapshot of the placement topology for
+    /// [`crate::placement::PlacementPolicy::plan`].
+    pub fn placement_view(&self) -> crate::placement::PlacementView {
+        crate::placement::PlacementView {
+            homes: self.homes.clone(),
+            replicas: self.replicas.clone(),
+            healthy: self.failed.iter().map(|&down| !down).collect(),
+        }
+    }
+
+    /// Expires all still-pending prefetches as mispredictions: their
+    /// DDR→HBM transfers moved bytes the router never asked for. Called
+    /// at end of serve; boundaries instead keep speculations the policy
+    /// re-proposes. Returns how many expired.
+    pub fn expire_prefetches(&mut self) -> u64 {
+        self.expire_prefetches_except(&[])
+    }
+
+    /// Expires pending prefetches *not* in `keep`: a speculation the
+    /// policy still believes in stays live (its transfer already
+    /// happened; expiring and re-staging it would double-charge the
+    /// DMA model for weights that never left HBM).
+    fn expire_prefetches_except(&mut self, keep: &[usize]) -> u64 {
+        let stale: Vec<usize> = self
+            .prefetched
+            .iter()
+            .copied()
+            .filter(|e| !keep.contains(e))
+            .collect();
+        let expired = stale.len() as u64;
+        if expired > 0 {
+            let bytes = self.library.expert_bytes() * expired;
+            self.prefetch_wasted += bytes;
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .count(Counter::PrefetchWastedBytes, bytes.as_u64());
+            }
+            for e in stale {
+                self.prefetched.remove(&e);
+            }
+        }
+        expired
+    }
+
+    /// Issues speculative DDR→HBM loads for `experts` on their serving
+    /// nodes. Speculation from the previous boundary that is no longer
+    /// in `experts` expires first (still-predicted pending speculations
+    /// stay live). Each staged expert is a real transfer: charged through
+    /// the memsim DMA model at DDR bandwidth, counted under
+    /// [`Counter::PrefetchIssued`], and returned as `transfer_time` for
+    /// the caller to overlap with (or expose beyond) the next wave.
+    /// Already-resident experts cost nothing and do not consume the
+    /// `max_issues` budget — the walk stops once that many transfers
+    /// have actually been staged. `loads` breaks replica ties the same
+    /// way serving does.
+    pub fn prefetch_experts(
+        &mut self,
+        experts: &[usize],
+        loads: &[usize],
+        max_issues: usize,
+    ) -> PrefetchOutcome {
+        let expired = self.expire_prefetches_except(experts);
+        let mut outcome = PrefetchOutcome {
+            issued: 0,
+            bytes: Bytes::ZERO,
+            transfer_time: TimeSecs::ZERO,
+            expired,
+        };
+        for &e in experts {
+            if outcome.issued as usize >= max_issues {
+                break;
+            }
+            let Some(node) = self.serving_node(e, loads) else {
+                continue;
+            };
+            let name = self.library.expert(e).name.as_str();
+            let staged = self.runtimes[node]
+                .prefetch(name)
+                .expect("expert registered on serving node");
+            let Some(load) = staged else {
+                continue; // already resident: prediction already paid off
+            };
+            let moved = load.copied_in + load.copied_back;
+            self.dma.transfer(Route::DDR_TO_HBM, moved);
+            outcome.issued += 1;
+            outcome.bytes += moved;
+            outcome.transfer_time += load.switch_time;
+            self.prefetched.insert(e);
+            if self.tracer.is_enabled() {
+                self.tracer.count(Counter::PrefetchIssued, 1);
+            }
+        }
+        outcome
+    }
+
+    /// Applies a stats-driven [`crate::placement::PlacementPlan`]:
+    /// replicates hot experts onto additional healthy nodes and re-homes
+    /// cold experts off overloaded ones. Weight movement is charged at
+    /// DDR bandwidth into `transfer_time`; a destination that already
+    /// holds the weights (an earlier adoption or replica) makes the
+    /// action free, exactly like [`CoeCluster::rebalance_experts`].
+    /// Replications ride [`Counter::ExpertsReplicated`].
+    pub fn apply_placement(&mut self, plan: &crate::placement::PlacementPlan) -> PlacementOutcome {
+        let rehome_time = self.rehome_time();
+        let mut outcome = PlacementOutcome {
+            replicated: 0,
+            moves: 0,
+            transfer_time: TimeSecs::ZERO,
+        };
+        let bytes = self.library.expert_bytes();
+        for &(e, node) in &plan.replicate {
+            if self.failed[node] || self.homes[e] == node || self.replicas[e].contains(&node) {
+                continue;
+            }
+            let name = self.library.expert(e).name.clone();
+            match self.runtimes[node].register(ModelBinary::weights_only(name, bytes)) {
+                Ok(()) => {
+                    outcome.transfer_time += rehome_time;
+                }
+                // The node already holds the weights from an earlier
+                // adoption or move: the replica is free.
+                Err(CoeError::Duplicate(_)) => {}
+                Err(_) => continue,
+            }
+            self.replicas[e].push(node);
+            self.replicas[e].sort_unstable();
+            outcome.replicated += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.count(Counter::ExpertsReplicated, 1);
+            }
+        }
+        for &(e, node) in &plan.moves {
+            if self.failed[node] || self.homes[e] == node {
+                continue;
+            }
+            let name = self.library.expert(e).name.clone();
+            match self.runtimes[node].register(ModelBinary::weights_only(name.clone(), bytes)) {
+                Ok(()) => {
+                    outcome.transfer_time += rehome_time;
+                }
+                Err(CoeError::Duplicate(_)) => {}
+                Err(_) => continue,
+            }
+            let source = self.homes[e];
+            self.homes[e] = node;
+            self.replicas[e].retain(|&n| n != node);
+            // The source no longer serves this expert (it is neither its
+            // home nor a replica holder), so a copy left resident there
+            // is dead weight. Releasing it is what opens HBM headroom for
+            // the prefetcher: placement evicts cold state, prefetch
+            // refills the freed capacity with predicted-hot experts.
+            if !self.replicas[e].contains(&source) {
+                if let Ok(copy_back) = self.runtimes[source].deactivate(&name) {
+                    outcome.transfer_time += copy_back;
+                }
+            }
+            outcome.moves += 1;
+        }
+        outcome
+    }
+
+    /// Running totals of the prefetch loop: `(hits, wasted_bytes)` —
+    /// speculations claimed by demand activations vs transfers that
+    /// expired (or were evicted) unused.
+    pub fn prefetch_totals(&self) -> (u64, Bytes) {
+        (self.prefetch_hits, self.prefetch_wasted)
+    }
+}
+
+/// Result of one prefetch boundary ([`CoeCluster::prefetch_experts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchOutcome {
+    /// Speculative loads actually issued (non-resident candidates).
+    pub issued: u64,
+    /// Bytes moved DDR→HBM (plus any eviction copy-back) for them.
+    pub bytes: Bytes,
+    /// Transfer time at model-switch bandwidth; overlappable with the
+    /// next wave's compute.
+    pub transfer_time: TimeSecs,
+    /// Stale speculations from the previous boundary that expired.
+    pub expired: u64,
+}
+
+/// Result of applying a placement plan ([`CoeCluster::apply_placement`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementOutcome {
+    /// Hot-expert replicas created.
+    pub replicated: u64,
+    /// Cold experts re-homed.
+    pub moves: u64,
+    /// Weight-transfer time the actions cost (backgroundable).
+    pub transfer_time: TimeSecs,
 }
 
 #[cfg(test)]
@@ -1472,5 +1792,100 @@ mod tests {
         assert_eq!(cluster.owner(1), 1);
         assert_eq!(cluster.owner(5), 2);
         assert_eq!(cluster.nodes(), 3);
+    }
+
+    #[test]
+    fn prefetch_issues_for_cold_experts_and_respects_the_cap() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(100), 512).unwrap();
+        let loads = vec![0usize; 2];
+        // Nothing is resident yet: every candidate is cold, but only
+        // `max_issues` transfers may be staged.
+        let out = cluster.prefetch_experts(&[0, 2, 4, 6, 8], &loads, 3);
+        assert_eq!(out.issued, 3);
+        assert_eq!(out.expired, 0);
+        assert!(out.bytes > Bytes::ZERO);
+        assert!(out.transfer_time.as_secs() > 0.0);
+        // Re-proposing the staged set is free: they are resident now, so
+        // the walk skips them and issues the remaining cold candidates.
+        let again = cluster.prefetch_experts(&[0, 2, 4, 6, 8], &loads, 8);
+        assert_eq!(again.issued, 2, "only 6 and 8 were still cold");
+        assert_eq!(again.expired, 0, "pending speculation re-proposed");
+    }
+
+    #[test]
+    fn unused_prefetches_expire_as_wasted_bytes() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(100), 512).unwrap();
+        let loads = vec![0usize; 2];
+        cluster.prefetch_experts(&[0, 2], &loads, 8);
+        let expired = cluster.expire_prefetches();
+        assert_eq!(expired, 2);
+        let (hits, wasted) = cluster.prefetch_totals();
+        assert_eq!(hits, 0);
+        assert_eq!(wasted, cluster.expert_bytes() * 2);
+    }
+
+    #[test]
+    fn demand_activation_claims_a_prefetch_as_a_hit() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(100), 512).unwrap();
+        let batch = PromptGenerator::new(31, 512).batch(4);
+        let experts: Vec<usize> = batch.iter().map(|p| cluster.routed_expert(p)).collect();
+        let loads = vec![0usize; 2];
+        cluster.prefetch_experts(&experts, &loads, 8);
+        let report = cluster.serve_batch(&batch, 10);
+        assert_eq!(report.expert_misses, 0, "every routed expert was staged");
+        let (hits, wasted) = cluster.prefetch_totals();
+        assert!(hits > 0);
+        assert_eq!(wasted, Bytes::ZERO);
+    }
+
+    #[test]
+    fn applied_replicas_split_load_and_survive_home_failure() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(100), 512).unwrap();
+        // Expert 0 is homed on node 0; replicate it onto node 1.
+        let plan = crate::placement::PlacementPlan {
+            replicate: vec![(0, 1)],
+            moves: Vec::new(),
+        };
+        let out = cluster.apply_placement(&plan);
+        assert_eq!(out.replicated, 1);
+        assert!(out.transfer_time.as_secs() > 0.0);
+        assert_eq!(cluster.replica_nodes(0), &[1]);
+        // Re-applying is a no-op (already a replica).
+        let again = cluster.apply_placement(&plan);
+        assert_eq!(again.replicated, 0);
+        // With the home dead, serving falls over to the replica without
+        // a reactive re-home.
+        cluster.fail_node(0);
+        let batch = PromptGenerator::new(31, 512).batch(8);
+        let report = cluster.try_serve_batch(&batch, 10).unwrap();
+        assert_eq!(report.dropped_prompts, 0);
+        assert_eq!(report.prompts_per_node[0], 0, "dead node serves nothing");
+    }
+
+    #[test]
+    fn cold_moves_rehome_and_drop_redundant_replicas() {
+        let mut cluster =
+            CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(100), 512).unwrap();
+        let plan = crate::placement::PlacementPlan {
+            replicate: vec![(0, 1)],
+            moves: Vec::new(),
+        };
+        cluster.apply_placement(&plan);
+        // Moving expert 0 to node 1 promotes the replica to home — the
+        // transfer is free (weights already there) and the replica entry
+        // collapses into the new home.
+        let move_plan = crate::placement::PlacementPlan {
+            replicate: Vec::new(),
+            moves: vec![(0, 1)],
+        };
+        let out = cluster.apply_placement(&move_plan);
+        assert_eq!(out.moves, 1);
+        assert!(out.transfer_time.is_zero(), "weights were already there");
+        assert_eq!(cluster.owner(0), 1);
+        assert!(cluster.replica_nodes(0).is_empty());
     }
 }

@@ -17,7 +17,12 @@
 //!   SLO classes, token-bucket rate limits, bounded queues, load
 //!   shedding, and wave-boundary preemption, chaos-aware;
 //! - [`autoscale`]: a hysteretic SLO-driven capacity controller that
-//!   grows/shrinks the cluster and re-homes experts between waves.
+//!   grows/shrinks the cluster and re-homes experts between waves;
+//! - [`placement`]: router-statistics-driven policy — predictive
+//!   DDR→HBM prefetch at wave boundaries, hot-expert replication, and
+//!   cold-expert spreading (PR 7);
+//! - [`kv`]: a paged KV cache with cost-aware LRU eviction under the
+//!   HBM budget shared with expert weights.
 //!
 //! # Example
 //!
@@ -35,6 +40,8 @@ pub mod cluster;
 pub mod comparison;
 pub mod expert;
 pub mod generation;
+pub mod kv;
+pub mod placement;
 pub mod router;
 pub mod scheduler;
 pub mod serving;
@@ -43,11 +50,17 @@ pub mod workload;
 
 pub use autoscale::{AutoscaleConfig, AutoscaleController, ScaleDecision, ScaleEvent};
 pub use cluster::{
-    ClusterReport, CoeCluster, RebalanceReport, WaveOutcome, WavePlacement, WaveSlot,
+    ClusterReport, CoeCluster, PlacementOutcome, PrefetchOutcome, RebalanceReport, WaveOutcome,
+    WavePlacement, WaveSlot,
 };
 pub use comparison::{request_latency, LatencyBreakdown, Platform};
 pub use expert::{ExpertInfo, ExpertLibrary};
 pub use generation::GenerationModel;
+pub use kv::{KvStats, KvTouch, PagedKvCache, PagedKvConfig};
+pub use placement::{
+    ExpertStats, PlacementPlan, PlacementPolicy, PlacementView, PolicyConfig, PolicyReport,
+    PrefetchPolicy, ServingPolicies,
+};
 pub use router::{Domain, Prompt, PromptGenerator, Router};
 pub use scheduler::{
     ArrivalPattern, ArrivalProcess, OnlineReport, OnlineRequest, RequestRecord, SchedulerConfig,

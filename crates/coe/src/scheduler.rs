@@ -32,6 +32,25 @@
 //! [`SambaCoeNode::try_serve_batch`] the same way: the per-site fault
 //! draw sequences are identical, so even injected-fault runs agree
 //! bit-for-bit on a burst.
+//!
+//! # Examples
+//!
+//! Arrival processes are pure functions of their seed — the same stream
+//! twice is the same stream, and Poisson inter-arrival gaps accumulate
+//! monotonically:
+//!
+//! ```
+//! use sn_coe::scheduler::ArrivalProcess;
+//!
+//! let a = ArrivalProcess::poisson(0x5eed, 512, 200.0).generate(16);
+//! let b = ArrivalProcess::poisson(0x5eed, 512, 200.0).generate(16);
+//! assert_eq!(a, b, "seeded streams replay bit-identically");
+//! assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//!
+//! // A burst degenerates to the offline batch: everything at t = 0.
+//! let burst = ArrivalProcess::burst(0x5eed, 512).generate(4);
+//! assert!(burst.iter().all(|r| r.arrival == sn_arch::TimeSecs::ZERO));
+//! ```
 
 use crate::router::{Prompt, PromptGenerator};
 use crate::serving::{SambaCoeNode, ServeReport};

@@ -31,6 +31,40 @@
 //!
 //! Everything is model time and seed-deterministic: two runs of the same
 //! scenario produce byte-identical reports.
+//!
+//! # Examples
+//!
+//! Merge two tenants' seeded arrival streams into the deterministic
+//! submission order the serving engine consumes:
+//!
+//! ```
+//! use sn_coe::scheduler::ArrivalPattern;
+//! use sn_coe::tenancy::{merged_stream, TenancyConfig, TenantSpec};
+//! use sn_coe::{RateLimit, SloClass};
+//!
+//! let tenants = [
+//!     TenantSpec {
+//!         name: "chat".into(),
+//!         class: SloClass::Interactive,
+//!         pattern: ArrivalPattern::Poisson { rate_rps: 100.0 },
+//!         requests: 4,
+//!         rate_limit: RateLimit::unlimited(),
+//!     },
+//!     TenantSpec {
+//!         name: "lab".into(),
+//!         class: SloClass::Batch,
+//!         pattern: ArrivalPattern::Burst,
+//!         requests: 2,
+//!         rate_limit: RateLimit::unlimited(),
+//!     },
+//! ];
+//! let stream = merged_stream(&tenants, &TenancyConfig::default());
+//! assert_eq!(stream.len(), 6);
+//! // Global submission indices follow (arrival, tenant, index) order,
+//! // so the t = 0 batch burst lands ahead of the Poisson arrivals.
+//! assert!(stream.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//! assert_eq!(stream[0].submit, 0);
+//! ```
 
 use crate::autoscale::{AutoscaleController, ScaleDecision, ScaleEvent};
 use crate::cluster::{CoeCluster, WavePlacement, WaveSlot};
@@ -319,6 +353,14 @@ pub struct TenancyReport {
     pub preemptions: usize,
     /// Experts re-homed by reactive failover during waves.
     pub rehomed_experts: usize,
+    /// Warm expert activations across all waves (HBM-resident on
+    /// demand — including activations a prefetch staged).
+    pub expert_hits: usize,
+    /// Cold expert activations across all waves (each paid a DDR→HBM
+    /// switch on the serving path).
+    pub expert_misses: usize,
+    /// Total DDR→HBM switch time charged on serving paths.
+    pub switch_time: TimeSecs,
     /// Waves retransmitted due to a chaos fault-window `Fail` draw on
     /// the socket fabric (each doubled its wave's latency).
     pub chaos_retransmits: usize,
@@ -332,6 +374,10 @@ pub struct TenancyReport {
     /// The engine configuration the run used (carries the class SLO
     /// bounds goodput accounting needs).
     pub config: TenancyConfig,
+    /// What the policy layer did, when the run used
+    /// [`CoeCluster::serve_tenants_with_policies`] with a bundle; `None`
+    /// on plain runs.
+    pub policy: Option<crate::placement::PolicyReport>,
 }
 
 impl TenancyReport {
@@ -357,6 +403,18 @@ impl TenancyReport {
     pub fn conservation_holds(&self) -> bool {
         self.submitted == self.admitted + self.rejected()
             && self.admitted == self.records.len() + self.shed_after_admission() + self.pending
+    }
+
+    /// HBM hit rate over demand expert activations: warm over
+    /// warm-plus-cold. 1.0 when nothing activated (no switches is a
+    /// perfect outcome for this metric).
+    pub fn expert_hit_rate(&self) -> f64 {
+        let total = self.expert_hits + self.expert_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.expert_hits as f64 / total as f64
+        }
     }
 
     /// Completed records of one class.
@@ -539,7 +597,46 @@ impl CoeCluster {
         tenants: &[TenantSpec],
         config: &TenancyConfig,
         chaos: Option<&ChaosSchedule>,
+        autoscaler: Option<&mut AutoscaleController>,
+    ) -> Result<TenancyReport, CoeError> {
+        self.serve_tenants_with_policies(tenants, config, chaos, autoscaler, None)
+    }
+
+    /// [`CoeCluster::serve_tenants`] with an optional
+    /// [`ServingPolicies`](crate::placement::ServingPolicies)
+    /// bundle driving predictive prefetch, stats-driven placement, and
+    /// paged KV management at wave boundaries (PR 7):
+    ///
+    /// - after each wave, the router pass feeds
+    ///   [`crate::placement::ExpertStats`] and the prefetch policy stages
+    ///   predicted-hot experts DDR→HBM for the *next* wave;
+    /// - on a cadence, the placement policy replicates hot experts and
+    ///   spreads cold ones via [`CoeCluster::apply_placement`];
+    /// - each served chunk touches the [`crate::kv::PagedKvCache`];
+    ///   evictions ride [`Counter::KvPagesEvicted`] and refaulted live
+    ///   pages charge a DDR→HBM refill.
+    ///
+    /// Background transfers (prefetch, placement, KV refills) overlap
+    /// the next wave's compute; only the excess beyond the wave's
+    /// latency is exposed on the model clock (and reported as
+    /// `transfer_exposed`), so mispredictions cost real bandwidth and —
+    /// under short waves — real time.
+    ///
+    /// With `policies = None` every hook is a no-op and the arithmetic
+    /// path is exactly [`CoeCluster::serve_tenants`]' — reports come out
+    /// bit-identical (modulo the `policy` field, which is `None`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected runtime errors from expert placement;
+    /// exhausting capacity is *not* an error (it sheds).
+    pub fn serve_tenants_with_policies(
+        &mut self,
+        tenants: &[TenantSpec],
+        config: &TenancyConfig,
+        chaos: Option<&ChaosSchedule>,
         mut autoscaler: Option<&mut AutoscaleController>,
+        mut policies: Option<&mut crate::placement::ServingPolicies>,
     ) -> Result<TenancyReport, CoeError> {
         let tracer = self.tracer().clone();
         let stream = merged_stream(tenants, config);
@@ -564,6 +661,15 @@ impl CoeCluster {
         let mut retransmits = 0usize;
         let mut slowdowns = 0usize;
         let mut waves = 0usize;
+        let mut expert_hits = 0usize;
+        let mut expert_misses = 0usize;
+        let mut switch_time = TimeSecs::ZERO;
+        // Background-transfer debt: prefetch, placement, and KV-refill
+        // time incurred at a wave boundary, drained against the next
+        // wave's latency (hidden) with the excess exposed on the clock.
+        let mut transfer_debt = TimeSecs::ZERO;
+        let mut last_placement_wave: Option<usize> = None;
+        let kv_switch_bandwidth = self.node_spec().model_switch_bandwidth();
 
         let shed_one = |shed: &mut Vec<ShedRecord>,
                         tenant: usize,
@@ -744,6 +850,23 @@ impl CoeCluster {
                 }
             }
 
+            // Stats-driven placement on its cadence: replicate hot
+            // experts, spread cold ones. Weight movement is backgroundable
+            // (it joins the transfer debt, not the serving path).
+            if let Some(pol) = policies.as_deref_mut() {
+                if pol.placement_due(waves as u64) && last_placement_wave != Some(waves) {
+                    last_placement_wave = Some(waves);
+                    if let Some(plan) = pol.plan_placement(&self.placement_view()) {
+                        if !plan.is_empty() {
+                            let applied = self.apply_placement(&plan);
+                            pol.report.experts_replicated += applied.replicated;
+                            pol.report.cold_moves += applied.moves;
+                            transfer_debt += applied.transfer_time;
+                        }
+                    }
+                }
+            }
+
             // Compose the wave: continuing interactive, new interactive,
             // then batch into whatever slots remain — interactive demand
             // preempts in-flight batch at this boundary.
@@ -819,6 +942,9 @@ impl CoeCluster {
             waves += 1;
             tracer.count(Counter::AdmissionWaves, 1);
             rehomed += outcome.rehomed_experts;
+            expert_hits += outcome.expert_hits;
+            expert_misses += outcome.expert_misses;
+            switch_time += outcome.switch_time;
 
             // Chaos fault windows degrade the wave fabric: a slowdown
             // stretches the wave, a failure retransmits it (×2).
@@ -844,10 +970,30 @@ impl CoeCluster {
             };
             clock = wave_start + wave_latency;
 
+            // Drain background-transfer debt against this wave: the wave's
+            // compute hides what it can; the rest stalls the clock.
+            if !transfer_debt.is_zero() {
+                let hidden =
+                    TimeSecs::from_secs(transfer_debt.as_secs().min(wave_latency.as_secs()));
+                let exposed = transfer_debt - hidden;
+                if !exposed.is_zero() {
+                    clock += exposed;
+                    if let Some(pol) = policies.as_deref_mut() {
+                        pol.report.transfer_exposed += exposed;
+                    }
+                }
+                transfer_debt = TimeSecs::ZERO;
+            }
+
             // Settle slots: complete, keep in flight, or shed drops.
             for (i, mut p) in wave.into_iter().enumerate() {
                 match outcome.placements[i] {
                     WavePlacement::Dropped => {
+                        if let Some(pol) = policies.as_deref_mut() {
+                            if let Some(kv) = pol.kv.as_mut() {
+                                kv.finish(p.submit as u64);
+                            }
+                        }
                         shed_one(
                             &mut shed,
                             p.tenant,
@@ -871,6 +1017,28 @@ impl CoeCluster {
                             p.first_token = Some(wave_start + offset);
                         }
                         p.chunks_left -= 1;
+                        // Paged KV: the request's context grew by one
+                        // chunk. Evictions are pressure; refaulted live
+                        // pages refill DDR→HBM as background debt.
+                        if let Some(pol) = policies.as_deref_mut() {
+                            if let Some(kv) = pol.kv.as_mut() {
+                                let total = config.policy(p.class).chunks.max(1);
+                                let done_chunks = total - p.chunks_left;
+                                let tokens =
+                                    config.prompt_tokens + done_chunks * config.wave_tokens;
+                                let touch = kv.touch(p.submit as u64, tokens);
+                                if touch.evicted > 0 {
+                                    tracer.count(Counter::KvPagesEvicted, touch.evicted);
+                                }
+                                if touch.refaulted > 0 {
+                                    let bytes = kv.config().page_bytes * touch.refaulted;
+                                    transfer_debt += bytes / kv_switch_bandwidth;
+                                }
+                                if p.chunks_left == 0 {
+                                    kv.finish(p.submit as u64);
+                                }
+                            }
+                        }
                         if p.chunks_left > 0 {
                             inflight.push(p);
                             continue;
@@ -901,6 +1069,26 @@ impl CoeCluster {
                         }
                         records.push(record);
                     }
+                }
+            }
+
+            // Router statistics + predictive prefetch at the wave
+            // boundary: observe where this wave's router pass went, then
+            // stage the predicted-hot set for the *next* wave (stale
+            // speculation expires as wasted bandwidth at the next
+            // boundary). No-ops without a policy bundle.
+            if let Some(pol) = policies.as_deref_mut() {
+                let active: Vec<usize> = slots
+                    .iter()
+                    .map(|s| self.routed_expert(&s.prompt))
+                    .collect();
+                pol.stats.observe_wave(&active);
+                let candidates = pol.prefetch_candidates();
+                if !candidates.is_empty() {
+                    let cap = pol.max_prefetch_per_wave();
+                    let issued = self.prefetch_experts(&candidates, &outcome.prompts_per_node, cap);
+                    pol.report.prefetch_issued += issued.issued;
+                    transfer_debt += issued.transfer_time;
                 }
             }
         }
@@ -936,6 +1124,19 @@ impl CoeCluster {
             );
         }
 
+        // Settle the policy bundle: expire leftover speculation as
+        // waste, then fold the cluster's prefetch totals and the KV
+        // cache's conservation stats into the report.
+        if let Some(pol) = policies.as_deref_mut() {
+            self.expire_prefetches();
+            let (hits, wasted) = self.prefetch_totals();
+            pol.report.prefetch_hits = hits;
+            pol.report.prefetch_wasted = wasted;
+            if let Some(kv) = pol.kv.as_ref() {
+                pol.report.absorb_kv(kv.stats());
+            }
+        }
+
         Ok(TenancyReport {
             records,
             shed,
@@ -947,11 +1148,15 @@ impl CoeCluster {
             pending: 0,
             preemptions,
             rehomed_experts: rehomed,
+            expert_hits,
+            expert_misses,
+            switch_time,
             chaos_retransmits: retransmits,
             chaos_slowdowns: slowdowns,
             final_nodes: self.healthy_nodes(),
             tenants: tenants.iter().map(|t| (t.name.clone(), t.class)).collect(),
             config: config.clone(),
+            policy: policies.as_deref().map(|p| p.report),
         })
     }
 }
@@ -1205,6 +1410,128 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b, "same scenario, byte-identical report");
+    }
+
+    #[test]
+    fn forced_cold_prefetch_is_bit_identical_to_policy_off() {
+        // Property: speculation never changes served outputs. With the
+        // prefetch threshold above 1.0 every prediction is forced cold, so
+        // no prefetch is ever issued — the report must match the policy-off
+        // run byte for byte (modulo the `policy` attachment itself).
+        use crate::placement::{PolicyConfig, PrefetchPolicy, ServingPolicies};
+        let tenants = [
+            TenantSpec {
+                pattern: ArrivalPattern::Poisson { rate_rps: 150.0 },
+                ..interactive_tenant(20)
+            },
+            batch_tenant(12),
+        ];
+        let config = TenancyConfig::default();
+        let chaos = ChaosSchedule::new(11).with_outage(
+            &[1],
+            TimeSecs::from_millis(40.0),
+            Some(TimeSecs::from_millis(300.0)),
+        );
+
+        let mut plain = cluster(2);
+        let want = plain
+            .serve_tenants(&tenants, &config, Some(&chaos), None)
+            .unwrap();
+
+        let mut speculative = cluster(2);
+        let mut policies = ServingPolicies::new(
+            120,
+            PolicyConfig {
+                prefetch: Some(PrefetchPolicy {
+                    threshold: 2.0, // unreachable: probabilities cap at 1.0
+                    max_per_wave: 8,
+                }),
+                placement: None,
+                kv: None,
+                ..PolicyConfig::default()
+            },
+        );
+        let mut got = speculative
+            .serve_tenants_with_policies(&tenants, &config, Some(&chaos), None, Some(&mut policies))
+            .unwrap();
+
+        let policy = got.policy.take().expect("policy report attached");
+        assert_eq!(policy.prefetch_issued, 0, "forced cold: nothing issued");
+        assert_eq!(policy.prefetch_wasted, Bytes::ZERO);
+        assert_eq!(want, got, "speculation must not perturb serving");
+    }
+
+    #[test]
+    fn policy_bundle_reports_prefetch_and_kv_activity() {
+        use crate::placement::{PolicyConfig, ServingPolicies};
+        use crate::PagedKvConfig;
+        // A 48-slot wave on one node cycles through more distinct experts
+        // than the 36-expert HBM budget holds, so plain LRU thrashes: the
+        // experts a wave starts with were evicted by the experts it ended
+        // with. Those victims stay hot in the router statistics, making
+        // them exactly what the prefetcher should re-stage.
+        let mut cluster = cluster(1);
+        let mut config = TenancyConfig {
+            per_node_slots: 56,
+            ..TenancyConfig::default()
+        };
+        config.interactive.chunks = 4;
+        config.interactive.queue_cap = 64;
+        config.interactive.deadline = TimeSecs::from_secs(30.0);
+        let tenants = [interactive_tenant(56), batch_tenant(16)];
+        let mut policies = ServingPolicies::new(
+            120,
+            PolicyConfig {
+                kv: Some(PagedKvConfig {
+                    page_tokens: 16,
+                    page_bytes: Bytes::from_mib(8),
+                    // Tiny budget (8 pages) forces eviction + refault churn.
+                    budget: Bytes::from_mib(64),
+                }),
+                ..PolicyConfig::default()
+            },
+        );
+        let report = cluster
+            .serve_tenants_with_policies(&tenants, &config, None, None, Some(&mut policies))
+            .unwrap();
+        assert!(report.conservation_holds());
+        let policy = report.policy.expect("policy report attached");
+        assert!(policy.prefetch_issued > 0, "hot experts should be staged");
+        assert!(policy.kv_pages_in > 0, "decode allocates KV pages");
+        assert!(
+            policy.kv_pages_evicted > 0,
+            "a 64 MiB budget cannot hold every sequence"
+        );
+        assert!(
+            policy.kv_pages_in >= policy.kv_pages_evicted,
+            "conservation: evictions never exceed allocations"
+        );
+        assert!(
+            report.expert_hits + report.expert_misses > 0,
+            "activation accounting populated"
+        );
+        let rate = report.expert_hit_rate();
+        assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn policy_off_report_leaves_policy_field_empty() {
+        let mut cluster = cluster(1);
+        let report = cluster
+            .serve_tenants(
+                &[interactive_tenant(4)],
+                &TenancyConfig::default(),
+                None,
+                None,
+            )
+            .unwrap();
+        assert!(report.policy.is_none());
+        assert!(
+            report.expert_misses > 0,
+            "first activation of each routed expert is cold"
+        );
+        let rate = report.expert_hit_rate();
+        assert!((0.0..1.0).contains(&rate));
     }
 
     #[test]

@@ -257,6 +257,19 @@ impl ServeAttribution {
         self.phases.iter().find(|p| p.kind == kind)
     }
 
+    /// Share of total batch time spent in phases classified as `bound`
+    /// (0.0 for an empty or zero-time attribution). The placement sweep
+    /// uses `bound_fraction(Bound::DdrBandwidth)` +
+    /// `bound_fraction(Bound::Switching)` as its "switch-bound" figure:
+    /// how much of the serve the DDR expert-switch path dominated.
+    pub fn bound_fraction(&self, bound: Bound) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.bound == bound)
+            .map(|p| p.fraction)
+            .sum()
+    }
+
     /// The phase holding the largest time share (ties to the earlier
     /// phase); `None` for an empty attribution.
     pub fn dominant(&self) -> Option<PhaseKind> {
@@ -393,6 +406,26 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-12);
         assert_eq!(a.dominant(), Some(PhaseKind::Decode));
         assert!((a.total.as_millis() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_fraction_sums_matching_phases() {
+        let m = machine();
+        let a = ServeAttribution::from_samples(
+            m,
+            vec![
+                sample(PhaseKind::Switching, 10.0, 0.0, 13.5, 13.5),
+                sample(PhaseKind::Recovery, 10.0, 0.0, 5.0, 5.0),
+                sample(PhaseKind::Decode, 20.0, 0.2, 100.0, 0.0),
+            ],
+        );
+        let ddr = a.bound_fraction(Bound::DdrBandwidth);
+        let hbm = a.bound_fraction(Bound::HbmBandwidth);
+        assert!((ddr - 0.5).abs() < 1e-12, "switching + recovery: {ddr}");
+        assert!((hbm - 0.5).abs() < 1e-12);
+        assert_eq!(a.bound_fraction(Bound::Compute), 0.0);
+        let empty = ServeAttribution::from_samples(m, vec![]);
+        assert_eq!(empty.bound_fraction(Bound::DdrBandwidth), 0.0);
     }
 
     #[test]

@@ -294,6 +294,13 @@ impl CoeRuntime {
         self.models.len()
     }
 
+    /// Whether `name` is currently HBM-resident. A pure query: it never
+    /// touches LRU recency, so probing residency cannot perturb
+    /// eviction order.
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.models.get(name).is_some_and(|r| r.hbm_block.is_some())
+    }
+
     /// Names of currently HBM-resident models.
     pub fn active_models(&self) -> Vec<String> {
         let mut v: Vec<String> = self
@@ -506,6 +513,106 @@ impl CoeRuntime {
         })
     }
 
+    /// Speculatively stages a model into HBM ahead of demand (PR 7
+    /// placement prefetch). Returns `Ok(None)` when the model is already
+    /// resident — deliberately *without* touching `last_use` or the
+    /// hit/miss statistics, so speculation never perturbs the demand
+    /// path's LRU order or its counters. A non-resident model goes
+    /// through the same eviction/alloc/remap machinery as a demand miss —
+    /// and because a speculative load never refreshes `last_use` after
+    /// staging, *stale speculations are themselves the LRU-preferred
+    /// eviction victims*: a misprediction's weights are the first thing a
+    /// later stage (or demand miss) reclaims. The transfer is charged as
+    /// prefetch traffic by the caller: this method records evictions and
+    /// byte movement in [`CoeStats`], yet leaves
+    /// `ExpertMisses`/`ExpertSwitchBytes` untouched (the cluster counts
+    /// the transfer under `PrefetchIssued` and the DMA ledger instead).
+    ///
+    /// # Errors
+    ///
+    /// [`CoeError::Unknown`] for unregistered names.
+    pub fn prefetch(&mut self, name: &str) -> Result<Option<ActivationOutcome>, CoeError> {
+        {
+            let reg = self
+                .models
+                .get(name)
+                .ok_or_else(|| CoeError::Unknown(name.to_string()))?;
+            if reg.hbm_block.is_some() {
+                return Ok(None);
+            }
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let need = self.models[name].binary.hbm_bytes;
+        let budget = self.hbm_budget();
+        let mut evicted = Vec::new();
+        let mut copied_back = Bytes::ZERO;
+        while self.memory.used_bytes(MemoryTier::Hbm) + need > budget {
+            let victim = self
+                .pick_victim(name)
+                .expect("resident model exists while over budget");
+            let reg = self.models.get_mut(&victim).expect("victim is registered");
+            let block = reg.hbm_block.take().expect("victim was resident");
+            reg.table
+                .remap(
+                    MODEL_SEGMENT_BASE,
+                    Region {
+                        tier: MemoryTier::Ddr,
+                        offset: reg.ddr_block.offset,
+                        size: reg.binary.hbm_bytes,
+                    },
+                )
+                .expect("segment size matches");
+            let dirty = if self.config.skip_readonly_copyback {
+                reg.binary
+                    .hbm_bytes
+                    .saturating_sub(reg.binary.read_only_bytes)
+            } else {
+                reg.binary.hbm_bytes
+            };
+            copied_back += dirty;
+            self.memory.free(block).expect("victim block was live");
+            self.stats.evictions += 1;
+            evicted.push(victim);
+        }
+        let block = self
+            .memory
+            .alloc(MemoryTier::Hbm, need)
+            .expect("eviction loop freed enough HBM");
+        let reg = self.models.get_mut(name).expect("checked above");
+        reg.table
+            .remap(MODEL_SEGMENT_BASE, block)
+            .expect("segment size equals hbm_bytes");
+        reg.hbm_block = Some(block);
+        reg.last_use = clock;
+        reg.activated_at = clock;
+        let copied_in = need;
+        self.stats.bytes_in += copied_in;
+        self.stats.bytes_back += copied_back;
+        let switch_time = (copied_in + copied_back) / self.switch_bandwidth;
+        if self.tracer.is_enabled() {
+            self.tracer
+                .count(Counter::ExpertEvictions, evicted.len() as u64);
+            self.tracer.span(
+                Track::Coe,
+                format!("prefetch:{name}"),
+                switch_time,
+                &[
+                    ("copied_in_bytes", ArgValue::from(copied_in.as_u64())),
+                    ("copied_back_bytes", ArgValue::from(copied_back.as_u64())),
+                    ("evictions", ArgValue::from(evicted.len())),
+                ],
+            );
+        }
+        Ok(Some(ActivationOutcome {
+            hit: false,
+            evicted,
+            copied_in,
+            copied_back,
+            switch_time,
+        }))
+    }
+
     /// Fault-aware activation: like [`CoeRuntime::activate`], but misses
     /// consult the attached fault plan at [`FaultSite::ExpertLoad`] and
     /// drive the DDR→HBM load through the runtime's [`RetryPolicy`].
@@ -604,6 +711,41 @@ mod tests {
         let second = rt.activate("expert0").unwrap();
         assert!(second.hit);
         assert!(second.switch_time.is_zero());
+    }
+
+    #[test]
+    fn prefetch_stages_weights_for_a_free_hit() {
+        let mut rt = runtime();
+        rt.register(expert(0)).unwrap();
+        let staged = rt.prefetch("expert0").unwrap().expect("cold → staged");
+        assert!(!staged.hit);
+        assert!(staged.switch_time.as_secs() > 0.0);
+        assert!(
+            rt.prefetch("expert0").unwrap().is_none(),
+            "already resident"
+        );
+        let hit = rt.activate("expert0").unwrap();
+        assert!(hit.hit);
+        assert!(hit.switch_time.is_zero());
+        let stats = rt.stats();
+        assert_eq!(stats.misses, 0, "prefetch is not a demand miss");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn prefetch_of_resident_expert_does_not_perturb_lru() {
+        let mut rt = runtime();
+        for i in 0..37 {
+            rt.register(expert(i)).unwrap();
+        }
+        for i in 0..36 {
+            rt.activate(&format!("expert{i}")).unwrap();
+        }
+        // expert0 is the LRU victim; a speculative prefetch of it must
+        // not refresh its recency the way a demand hit would.
+        assert!(rt.prefetch("expert0").unwrap().is_none());
+        let outcome = rt.activate("expert36").unwrap();
+        assert_eq!(outcome.evicted, vec!["expert0".to_string()]);
     }
 
     #[test]

@@ -124,11 +124,30 @@ pub enum Counter {
     /// drained (experts re-homed off it) and taken out of service (PR 6
     /// autoscaling).
     ScaleDowns,
+    /// Unit: prefetches. Speculative DDR→HBM expert loads issued at wave
+    /// boundaries by the prefetch policy (PR 7 placement; each one is a
+    /// real transfer charged at model-switch bandwidth).
+    PrefetchIssued,
+    /// Unit: prefetches. Prefetched experts that the next wave's router
+    /// pass actually landed on — the activation became a free HBM hit
+    /// instead of a cold switch (PR 7 placement).
+    PrefetchHits,
+    /// Unit: bytes. Bytes copied DDR→HBM for prefetched experts that were
+    /// *not* used before leaving HBM — the bandwidth cost of misprediction
+    /// (PR 7 placement).
+    PrefetchWastedBytes,
+    /// Unit: pages. KV-cache pages evicted from HBM under the shared
+    /// weights/KV budget (PR 7 paged KV cache; cost-aware LRU).
+    KvPagesEvicted,
+    /// Unit: experts. Hot-expert replicas created on additional nodes by
+    /// the placement policy so router bursts split across sockets (PR 7
+    /// placement).
+    ExpertsReplicated,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 37] = [
         Counter::PmuAccessCycles,
         Counter::PmuBankConflictCycles,
         Counter::PcusOccupied,
@@ -161,6 +180,11 @@ impl Counter {
         Counter::RequestsPreempted,
         Counter::ScaleUps,
         Counter::ScaleDowns,
+        Counter::PrefetchIssued,
+        Counter::PrefetchHits,
+        Counter::PrefetchWastedBytes,
+        Counter::KvPagesEvicted,
+        Counter::ExpertsReplicated,
     ];
 
     /// Number of counters (size of the tracer's accumulation array).
@@ -206,6 +230,11 @@ impl Counter {
             Counter::RequestsPreempted => "requests_preempted",
             Counter::ScaleUps => "scale_ups",
             Counter::ScaleDowns => "scale_downs",
+            Counter::PrefetchIssued => "prefetch_issued",
+            Counter::PrefetchHits => "prefetch_hits",
+            Counter::PrefetchWastedBytes => "prefetch_wasted_bytes",
+            Counter::KvPagesEvicted => "kv_pages_evicted",
+            Counter::ExpertsReplicated => "experts_replicated",
         }
     }
 
@@ -224,7 +253,8 @@ impl Counter {
             Counter::DmaBytesDdrToHbm
             | Counter::DmaBytesHbmToDdr
             | Counter::DmaBytesHost
-            | Counter::ExpertSwitchBytes => "bytes",
+            | Counter::ExpertSwitchBytes
+            | Counter::PrefetchWastedBytes => "bytes",
             Counter::DmaFaultsInjected => "faults",
             Counter::KernelLaunches => "launches",
             Counter::ProgramLoads => "loads",
@@ -233,13 +263,15 @@ impl Counter {
             Counter::RouterDecisions => "decisions",
             Counter::PromptsServed | Counter::PromptsDropped => "prompts",
             Counter::RetriesAbsorbed => "retries",
-            Counter::ExpertsRehomed => "experts",
+            Counter::ExpertsRehomed | Counter::ExpertsReplicated => "experts",
             Counter::RequestsAdmitted
             | Counter::TenantRequests
             | Counter::RequestsShed
             | Counter::RequestsPreempted => "requests",
             Counter::AdmissionWaves => "waves",
             Counter::ScaleUps | Counter::ScaleDowns => "events",
+            Counter::PrefetchIssued | Counter::PrefetchHits => "prefetches",
+            Counter::KvPagesEvicted => "pages",
         }
     }
 }

@@ -39,4 +39,14 @@ fi
 grep -q "MULTI-TENANT CHAOS" /tmp/tenants_jobs1.out
 rm -f /tmp/tenants_jobs1.out /tmp/tenants_jobs2.out
 
+echo "==> repro placement policy smoke (stats-driven serving, --jobs parity)"
+./target/release/repro --jobs 1 placement > /tmp/placement_jobs1.out
+./target/release/repro --jobs 4 placement > /tmp/placement_jobs4.out
+if ! diff -u /tmp/placement_jobs1.out /tmp/placement_jobs4.out; then
+  echo "placement sweep output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+grep -q "PLACEMENT POLICIES" /tmp/placement_jobs1.out
+rm -f /tmp/placement_jobs1.out /tmp/placement_jobs4.out
+
 echo "All checks passed."
