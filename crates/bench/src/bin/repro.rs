@@ -5,6 +5,7 @@
 //! repro [--jobs N] [--time] serve
 //! repro [--jobs N] tenants
 //! repro [--jobs N] placement
+//! repro [--jobs N] [--obs out.json] obs
 //! repro --trace [out.json]
 //! repro --profile
 //! repro [--jobs N] --bench-json [out.json]
@@ -39,6 +40,15 @@
 //! burst, and an SLO-driven autoscaler — over an offered-load
 //! multiplier, printing per-class p99 latency and goodput plus shed /
 //! preempt / scale counts for every row.
+//!
+//! `obs` replays the tenant chaos scenario with the `sn-obs` telemetry
+//! pipeline enabled: labeled per-tenant time series, SLO burn-rate
+//! alert rules, and post-mortem flight-recorder bundles around the
+//! outage. Prints the load sweep, a per-tenant timeline dashboard with
+//! sparklines, the alert timeline, and the captured bundles; `--obs
+//! out.json` additionally writes the focus run's full telemetry export
+//! (schema `sn-obs/v1`). Every point also replays blind and asserts the
+//! serving run is bit-identical — observation never steers the system.
 //!
 //! `placement` sweeps the router-statistics serving policies (predictive
 //! prefetch, hot-expert replication, cold re-homing, paged KV cache)
@@ -423,6 +433,66 @@ fn run_placement(jobs: usize) {
     );
 }
 
+fn run_obs(jobs: usize, export: Option<&str>) {
+    use sn_bench::obs;
+    use sn_bench::tenants;
+    hr(&format!(
+        "OBSERVABILITY: tenant chaos scenario under the sn-obs pipeline, kill {:?} during {}..{}",
+        tenants::OUTAGE_NODES,
+        tenants::OUTAGE_START,
+        tenants::OUTAGE_END,
+    ));
+    println!(
+        "{:<6} {:>6} {:>7} {:>8} {:>6} {:>9} {:>12} {:>6} {:>10}",
+        "Load", "Waves", "Series", "Samples", "Fired", "Resolved", "Postmortems", "Shed", "Blind=="
+    );
+    for p in obs::obs_sweep_jobs(jobs) {
+        println!(
+            "{:<6} {:>6} {:>7} {:>8} {:>6} {:>9} {:>12} {:>6} {:>10}",
+            format!("{:.1}x", p.load),
+            p.waves,
+            p.series,
+            p.samples,
+            p.fired,
+            p.resolved,
+            p.postmortems,
+            p.shed,
+            if p.identical { "yes" } else { "NO" },
+        );
+        assert!(
+            p.identical,
+            "observing the run must never change it (load {})",
+            p.load
+        );
+    }
+    println!(
+        "\nfocus dashboard at {:.1}x load (budget {:.0}%, burn factor {}x over {}/{}-wave \
+         windows):\n",
+        obs::OBS_FOCUS_LOAD,
+        obs::OBS_ERROR_BUDGET * 100.0,
+        obs::OBS_BURN_FACTOR,
+        obs::OBS_FAST_WINDOW,
+        obs::OBS_SLOW_WINDOW,
+    );
+    let (_, report, identical) = obs::obs_focus_run();
+    assert!(identical, "focus run must match its blind replay");
+    print!("{}", obs::render_dashboard(&report));
+    if let Some(path) = export {
+        let json = report.to_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write telemetry export to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "\nwrote {path} ({} bytes, {} series, {} alert transitions, {} bundles)",
+            json.len(),
+            report.series.len(),
+            report.alerts.len(),
+            report.postmortems.len()
+        );
+    }
+}
+
 fn run_ablations() {
     hr("ABLATIONS (design choices from DESIGN.md)");
     println!(
@@ -581,9 +651,10 @@ fn run_bench_check(baseline_path: &str, current_path: Option<&str>, jobs: usize)
 fn usage_exit(complaint: &str) -> ! {
     eprintln!("{complaint}");
     eprintln!(
-        "usage: repro [--jobs N] [--time] [table1|table2|fig1|fig10|fig11|fig12|fig13|table3|\
-         ablations|extensions|serve|tenants|placement|--faults|--trace [out.json]|--profile|\
-         --bench-json [out.json]|--bench-check <baseline> [current]|all]"
+        "usage: repro [--jobs N] [--time] [--obs out.json] [table1|table2|fig1|fig10|fig11|\
+         fig12|fig13|table3|ablations|extensions|serve|tenants|placement|obs|--faults|\
+         --trace [out.json]|--profile|--bench-json [out.json]|\
+         --bench-check <baseline> [current]|all]"
     );
     std::process::exit(2);
 }
@@ -591,6 +662,7 @@ fn usage_exit(complaint: &str) -> ! {
 fn main() {
     let mut jobs = sn_bench::par::available_jobs();
     let mut timed = false;
+    let mut obs_export: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
@@ -599,11 +671,21 @@ fn main() {
         } else {
             a.strip_prefix("--jobs=").map(str::to_string)
         };
+        let obs_value = if a == "--obs" {
+            Some(raw.next().unwrap_or_default())
+        } else {
+            a.strip_prefix("--obs=").map(str::to_string)
+        };
         if let Some(v) = jobs_value {
             match v.parse::<usize>() {
                 Ok(n) if n >= 1 => jobs = n,
                 _ => usage_exit(&format!("--jobs wants a positive integer, got '{v}'")),
             }
+        } else if let Some(v) = obs_value {
+            if v.is_empty() {
+                usage_exit("--obs wants an output path");
+            }
+            obs_export = Some(v);
         } else if a == "--time" {
             timed = true;
         } else {
@@ -651,6 +733,7 @@ fn main() {
         "serve" | "--serve" => run_serve(jobs, timed),
         "tenants" | "--tenants" => run_tenants(jobs),
         "placement" | "--placement" => run_placement(jobs),
+        "obs" => run_obs(jobs, obs_export.as_deref()),
         "all" => {
             table1();
             table2();
@@ -665,6 +748,7 @@ fn main() {
             run_serve(jobs, timed);
             run_tenants(jobs);
             run_placement(jobs);
+            run_obs(jobs, obs_export.as_deref());
             run_ablations();
         }
         other => usage_exit(&format!("unknown experiment '{other}'")),

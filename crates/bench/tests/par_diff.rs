@@ -75,6 +75,33 @@ fn tenants_sweep_parallel_is_bit_identical_to_sequential() {
 }
 
 #[test]
+fn obs_sweep_parallel_is_bit_identical_to_sequential() {
+    // Each observed point carries its own telemetry pipeline (registry,
+    // alert engine, flight recorder) built inside the sweep closure —
+    // nothing shared, so the sweep table and every per-point alert and
+    // bundle count must be jobs-invariant.
+    let sequential = sn_bench::obs::obs_sweep_jobs(1);
+    for jobs in [2, 4] {
+        assert_eq!(
+            sequential,
+            sn_bench::obs::obs_sweep_jobs(jobs),
+            "obs sweep diverged at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn obs_export_json_is_deterministic() {
+    // Byte-level: two independently constructed observed runs of the
+    // focus point must serialize to the identical `sn-obs/v1` document
+    // (BTreeMap-ordered series, fixed key order, shortest-round-trip
+    // floats — no hash-order or pointer-order leaks anywhere).
+    let (_, a, _) = sn_bench::obs::obs_focus_run();
+    let (_, b, _) = sn_bench::obs::obs_focus_run();
+    assert_eq!(a.to_json(), b.to_json(), "obs export diverged across runs");
+}
+
+#[test]
 fn bench_snapshot_parallel_is_byte_identical_to_sequential() {
     // The strongest form: the serialized snapshot — every tracked metric,
     // in order, to the last digit — matches the legacy path, so the

@@ -128,6 +128,76 @@ fn tenants_report_is_byte_identical_across_jobs() {
 }
 
 #[test]
+fn obs_mode_and_export_are_byte_identical_across_jobs() {
+    // One shared export path: the printed "wrote <path>" line is part of
+    // the byte-identity contract, so it must not vary with --jobs.
+    let path = std::env::temp_dir().join(format!("repro_cli_obs_{}.json", std::process::id()));
+    let run = |jobs: &str| {
+        let out = repro()
+            .args(["--jobs", jobs, "--obs"])
+            .arg(&path)
+            .arg("obs")
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(out.status.code(), Some(0), "obs --jobs {jobs} succeeds");
+        let json = std::fs::read(&path).expect("--obs writes the export");
+        let _ = std::fs::remove_file(&path);
+        (out.stdout, json)
+    };
+    let (seq_stdout, seq_json) = run("1");
+    let (par_stdout, par_json) = run("4");
+    assert_eq!(
+        seq_stdout, par_stdout,
+        "obs output must not depend on --jobs"
+    );
+    assert_eq!(seq_json, par_json, "--obs export must not depend on --jobs");
+
+    let stdout = String::from_utf8_lossy(&seq_stdout);
+    assert!(
+        stdout.contains("OBSERVABILITY") && stdout.contains("alert timeline:"),
+        "obs prints the sweep table and alert timeline: {stdout}"
+    );
+    assert!(
+        stdout.contains("firing") && stdout.contains("resolved"),
+        "the seeded chaos run fires and resolves an alert: {stdout}"
+    );
+    assert!(
+        stdout.contains("post-mortem bundles:"),
+        "obs prints the captured bundles: {stdout}"
+    );
+
+    // The export schema-validates with the vendored JSON parser.
+    let text = String::from_utf8(seq_json).expect("export is UTF-8");
+    let doc = sn_trace::json::parse(&text).expect("export parses as JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("sn-obs/v1"),
+        "export carries the schema tag"
+    );
+    for key in ["series", "alerts", "postmortems"] {
+        assert!(
+            doc.get(key).and_then(|v| v.as_array()).is_some(),
+            "export carries a {key} array"
+        );
+    }
+    assert!(
+        doc.get("waves").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0,
+        "export records the observed wave count"
+    );
+}
+
+#[test]
+fn obs_flag_without_a_path_is_a_usage_error() {
+    let out = repro().arg("--obs").output().expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "bare --obs is exit code 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--obs") && stderr.contains("usage:"),
+        "stderr explains the missing --obs path: {stderr}"
+    );
+}
+
+#[test]
 fn bench_check_without_baseline_is_a_usage_error() {
     let out = repro()
         .arg("--bench-check")

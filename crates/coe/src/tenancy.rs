@@ -73,6 +73,7 @@ use crate::scheduler::{ArrivalPattern, ArrivalProcess};
 use serde::{Deserialize, Serialize};
 use sn_arch::{Bytes, TimeSecs};
 use sn_faults::{ChaosEventKind, ChaosSchedule, FaultDecision, FaultSite};
+use sn_obs::Obs;
 use sn_profile::BatchObservation;
 use sn_runtime::coe::CoeError;
 use sn_trace::Counter;
@@ -635,8 +636,46 @@ impl CoeCluster {
         tenants: &[TenantSpec],
         config: &TenancyConfig,
         chaos: Option<&ChaosSchedule>,
+        autoscaler: Option<&mut AutoscaleController>,
+        policies: Option<&mut crate::placement::ServingPolicies>,
+    ) -> Result<TenancyReport, CoeError> {
+        self.serve_tenants_observed(
+            tenants,
+            config,
+            chaos,
+            autoscaler,
+            policies,
+            &Obs::disabled(),
+        )
+    }
+
+    /// [`CoeCluster::serve_tenants_with_policies`] with an [`Obs`]
+    /// observability pipeline attached (PR 8): at every wave boundary the
+    /// engine samples labeled per-tenant/per-node series (wave latency,
+    /// queue depths, HBM hit rate, per-tenant SLO good/bad counters),
+    /// evaluates the pipeline's alert rules, and feeds the flight
+    /// recorder — chaos crashes and fault-window openings open
+    /// post-mortem captures, as do firing alerts.
+    ///
+    /// The pipeline only *reads* serving state: a run with an enabled
+    /// `obs` produces a [`TenancyReport`] bit-identical to the same run
+    /// with `Obs::disabled()` (the same contract `sn-trace` keeps).
+    /// Alert transitions and frozen bundles ride the tracer as
+    /// [`Counter::AlertsFired`], [`Counter::AlertsResolved`], and
+    /// [`Counter::PostmortemsCaptured`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected runtime errors from expert placement;
+    /// exhausting capacity is *not* an error (it sheds).
+    pub fn serve_tenants_observed(
+        &mut self,
+        tenants: &[TenantSpec],
+        config: &TenancyConfig,
+        chaos: Option<&ChaosSchedule>,
         mut autoscaler: Option<&mut AutoscaleController>,
         mut policies: Option<&mut crate::placement::ServingPolicies>,
+        obs: &Obs,
     ) -> Result<TenancyReport, CoeError> {
         let tracer = self.tracer().clone();
         let stream = merged_stream(tenants, config);
@@ -670,8 +709,21 @@ impl CoeCluster {
         let mut transfer_debt = TimeSecs::ZERO;
         let mut last_placement_wave: Option<usize> = None;
         let kv_switch_bandwidth = self.node_spec().model_switch_bandwidth();
+        // Chaos fault-window openings in start order (stable sort keeps
+        // declaration order for ties): each crossing opens a post-mortem
+        // capture. Only materialized when the pipeline records.
+        let mut window_opens: Vec<(TimeSecs, FaultSite)> = if obs.is_enabled() {
+            chaos
+                .map(|c| c.windows().iter().map(|w| (w.start, w.site)).collect())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        window_opens.sort_by(|a, b| a.0.as_secs().total_cmp(&b.0.as_secs()));
+        let mut next_window = 0usize;
 
         let shed_one = |shed: &mut Vec<ShedRecord>,
+                        wave: usize,
                         tenant: usize,
                         class: SloClass,
                         submit: usize,
@@ -689,6 +741,33 @@ impl CoeCluster {
                 was_admitted,
             });
             tracer.count(Counter::RequestsShed, 1);
+            if obs.is_enabled() {
+                let tenant_name = tenants[tenant].name.as_str();
+                let class_name = class.name();
+                let labels = [("slo_class", class_name), ("tenant", tenant_name)];
+                obs.add("requests_shed", &labels, 1.0);
+                obs.add(
+                    "requests_shed_by_reason",
+                    &[
+                        ("reason", reason.name()),
+                        ("slo_class", class_name),
+                        ("tenant", tenant_name),
+                    ],
+                    1.0,
+                );
+                // Sheds burn SLO budget: a request the platform lost is a
+                // bad outcome for its tenant's error budget.
+                obs.add("slo_bad", &labels, 1.0);
+                obs.add("slo_total", &labels, 1.0);
+                obs.event(
+                    wave,
+                    at,
+                    None,
+                    "shed",
+                    &format!("{tenant_name} {}", reason.name()),
+                    1.0,
+                );
+            }
         };
 
         'serve: loop {
@@ -701,6 +780,7 @@ impl CoeCluster {
                 if !buckets[r.tenant].admit(r.arrival) {
                     shed_one(
                         &mut shed,
+                        waves,
                         r.tenant,
                         r.class,
                         r.submit,
@@ -718,6 +798,7 @@ impl CoeCluster {
                 if queue.len() >= policy.queue_cap {
                     shed_one(
                         &mut shed,
+                        waves,
                         r.tenant,
                         r.class,
                         r.submit,
@@ -761,9 +842,31 @@ impl CoeCluster {
                     continue;
                 }
                 match ev.kind {
-                    ChaosEventKind::Crash => self.fail_node(ev.node),
-                    ChaosEventKind::Restore => self.restore_node(ev.node),
+                    ChaosEventKind::Crash => {
+                        self.fail_node(ev.node);
+                        obs.event(waves, clock, Some(ev.node), "node_crash", "", 0.0);
+                        obs.incident("chaos_outage", waves, clock);
+                    }
+                    ChaosEventKind::Restore => {
+                        self.restore_node(ev.node);
+                        obs.event(waves, clock, Some(ev.node), "node_restore", "", 0.0);
+                    }
                 }
+            }
+
+            // Chaos fault windows opening by now each start a post-mortem
+            // capture (a crash window here is redundant with the crash
+            // event above; the recorder extends the open capture instead
+            // of forking a second one).
+            while next_window < window_opens.len() && window_opens[next_window].0 <= clock {
+                let (start, site) = window_opens[next_window];
+                next_window += 1;
+                obs.event(waves, clock, None, "fault_window_open", site.name(), 0.0);
+                obs.incident(
+                    &format!("fault_window:{}", site.name()),
+                    waves,
+                    start.max(clock),
+                );
             }
 
             // Deadline sheds: queues are arrival-ordered, pop stale fronts.
@@ -773,6 +876,7 @@ impl CoeCluster {
                         let p = queue.pop_front().expect("peeked");
                         shed_one(
                             &mut shed,
+                            waves,
                             p.tenant,
                             p.class,
                             p.submit,
@@ -827,6 +931,14 @@ impl CoeCluster {
                             moved_experts: rebalance.moved_experts,
                             transfer_time: rebalance.transfer_time,
                         });
+                        obs.event(
+                            waves,
+                            clock,
+                            None,
+                            "scale_up",
+                            "",
+                            rebalance.moved_experts as f64,
+                        );
                     }
                     ScaleDecision::Down => {
                         let victim = (0..self.nodes())
@@ -844,6 +956,14 @@ impl CoeCluster {
                                     moved_experts: rebalance.moved_experts,
                                     transfer_time: rebalance.transfer_time,
                                 });
+                                obs.event(
+                                    waves,
+                                    clock,
+                                    None,
+                                    "scale_down",
+                                    "",
+                                    rebalance.moved_experts as f64,
+                                );
                             }
                         }
                     }
@@ -996,6 +1116,7 @@ impl CoeCluster {
                         }
                         shed_one(
                             &mut shed,
+                            waves - 1,
                             p.tenant,
                             p.class,
                             p.submit,
@@ -1067,6 +1188,16 @@ impl CoeCluster {
                                 });
                             }
                         }
+                        if obs.is_enabled() {
+                            let tenant_name = tenants[record.tenant].name.as_str();
+                            let labels =
+                                [("slo_class", record.class.name()), ("tenant", tenant_name)];
+                            obs.add("completions", &labels, 1.0);
+                            obs.add("slo_total", &labels, 1.0);
+                            if record.latency() > config.policy(record.class).slo_bound {
+                                obs.add("slo_bad", &labels, 1.0);
+                            }
+                        }
                         records.push(record);
                     }
                 }
@@ -1091,6 +1222,40 @@ impl CoeCluster {
                     transfer_debt += issued.transfer_time;
                 }
             }
+
+            // Wave boundary: flush this wave's gauges into the telemetry
+            // pipeline, evaluate alert rules, tick the flight recorder.
+            // Pure readers of loop state — with obs disabled (or enabled)
+            // the serving timeline is bit-identical.
+            if obs.is_enabled() {
+                let wave_idx = waves - 1;
+                obs.gauge("wave_latency_ms", &[], wave_latency.as_secs() * 1e3);
+                obs.gauge("healthy_nodes", &[], self.healthy_nodes() as f64);
+                let activations = outcome.expert_hits + outcome.expert_misses;
+                if activations > 0 {
+                    obs.gauge(
+                        "hbm_hit_rate",
+                        &[],
+                        outcome.expert_hits as f64 / activations as f64,
+                    );
+                }
+                obs.gauge(
+                    "queue_depth",
+                    &[("slo_class", "interactive")],
+                    iq.len() as f64,
+                );
+                obs.gauge("queue_depth", &[("slo_class", "batch")], bq.len() as f64);
+                let seen = obs.end_wave(wave_idx, clock);
+                if seen.fired > 0 {
+                    tracer.count(Counter::AlertsFired, seen.fired as u64);
+                }
+                if seen.resolved > 0 {
+                    tracer.count(Counter::AlertsResolved, seen.resolved as u64);
+                }
+                if seen.postmortem_closed {
+                    tracer.count(Counter::PostmortemsCaptured, 1);
+                }
+            }
         }
 
         // Whatever is still in the system (total outage or wave budget)
@@ -1099,6 +1264,7 @@ impl CoeCluster {
         for p in iq.drain(..).chain(bq.drain(..)).chain(inflight.drain(..)) {
             shed_one(
                 &mut shed,
+                waves,
                 p.tenant,
                 p.class,
                 p.submit,
@@ -1114,6 +1280,7 @@ impl CoeCluster {
             tracer.count(Counter::TenantRequests, 1);
             shed_one(
                 &mut shed,
+                waves,
                 r.tenant,
                 r.class,
                 r.submit,
@@ -1134,6 +1301,24 @@ impl CoeCluster {
             pol.report.prefetch_wasted = wasted;
             if let Some(kv) = pol.kv.as_ref() {
                 pol.report.absorb_kv(kv.stats());
+            }
+        }
+
+        // One last boundary so final-drain sheds land in the series and a
+        // still-open capture gets counted (finalize() will freeze it).
+        if obs.is_enabled() {
+            let seen = obs.end_wave(waves, clock);
+            if seen.fired > 0 {
+                tracer.count(Counter::AlertsFired, seen.fired as u64);
+            }
+            if seen.resolved > 0 {
+                tracer.count(Counter::AlertsResolved, seen.resolved as u64);
+            }
+            if seen.postmortem_closed {
+                tracer.count(Counter::PostmortemsCaptured, 1);
+            }
+            if obs.is_capturing() {
+                tracer.count(Counter::PostmortemsCaptured, 1);
             }
         }
 

@@ -1,0 +1,268 @@
+//! Hand-rolled JSON export of an [`ObsReport`].
+//!
+//! The vendored `serde` is a marker stub (see `sn-trace::chrome`), so the
+//! document is written by hand with a fixed key order, sorted series, and
+//! `{:?}` shortest-roundtrip float formatting — byte-identical for
+//! identical reports, which is what the `--jobs` parity tests diff. The
+//! document parses with `sn_trace::json::parse`.
+
+use crate::alert::AlertEvent;
+use crate::recorder::{FlightEntry, PostMortem};
+use crate::series::{LabelSet, MetricKind, Sample, SeriesBuffer, SeriesKey};
+use crate::ObsReport;
+use sn_arch::TimeSecs;
+
+/// Version tag stamped into every export (`"schema"` field).
+pub const SCHEMA: &str = "sn-obs/v1";
+
+/// Serializes a report as a standalone JSON document.
+pub fn to_json(report: &ObsReport) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":");
+    write_json_string(&mut out, SCHEMA);
+    out.push_str(",\"waves\":");
+    out.push_str(&report.waves.to_string());
+    out.push_str(",\"series\":[");
+    for (i, (key, buf)) in report.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_series(&mut out, key, buf);
+    }
+    out.push_str("],\"alerts\":[");
+    for (i, alert) in report.alerts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_alert(&mut out, alert);
+    }
+    out.push_str("],\"postmortems\":[");
+    for (i, pm) in report.postmortems.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_postmortem(&mut out, pm);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_series(out: &mut String, key: &SeriesKey, buf: &SeriesBuffer) {
+    out.push_str("{\"name\":");
+    write_json_string(out, &key.name);
+    out.push_str(",\"labels\":");
+    write_labels(out, &key.labels);
+    out.push_str(",\"kind\":");
+    write_json_string(
+        out,
+        match buf.kind() {
+            MetricKind::Gauge => "gauge",
+            MetricKind::Counter => "counter",
+        },
+    );
+    out.push_str(",\"total_samples\":");
+    out.push_str(&buf.total_samples().to_string());
+    out.push_str(",\"buckets\":[");
+    for (i, b) in buf.buckets().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"wave_first\":");
+        out.push_str(&b.wave_first.to_string());
+        out.push_str(",\"wave_last\":");
+        out.push_str(&b.wave_last.to_string());
+        out.push_str(",\"t_first\":");
+        write_time(out, b.t_first);
+        out.push_str(",\"t_last\":");
+        write_time(out, b.t_last);
+        out.push_str(",\"min\":");
+        write_f64(out, b.min);
+        out.push_str(",\"max\":");
+        write_f64(out, b.max);
+        out.push_str(",\"sum\":");
+        write_f64(out, b.sum);
+        out.push_str(",\"count\":");
+        out.push_str(&b.count.to_string());
+        out.push('}');
+    }
+    out.push_str("],\"recent\":[");
+    for (i, s) in buf.recent().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_sample(out, s);
+    }
+    out.push_str("]}");
+}
+
+fn write_sample(out: &mut String, s: &Sample) {
+    out.push_str("{\"wave\":");
+    out.push_str(&s.wave.to_string());
+    out.push_str(",\"t\":");
+    write_time(out, s.t);
+    out.push_str(",\"value\":");
+    write_f64(out, s.value);
+    out.push('}');
+}
+
+fn write_alert(out: &mut String, a: &AlertEvent) {
+    out.push_str("{\"rule\":");
+    write_json_string(out, &a.rule);
+    out.push_str(",\"labels\":");
+    write_labels(out, &a.labels);
+    out.push_str(",\"kind\":");
+    write_json_string(out, a.kind.name());
+    out.push_str(",\"wave\":");
+    out.push_str(&a.wave.to_string());
+    out.push_str(",\"at\":");
+    write_time(out, a.at);
+    out.push_str(",\"value\":");
+    write_f64(out, a.value);
+    out.push_str(",\"threshold\":");
+    write_f64(out, a.threshold);
+    out.push('}');
+}
+
+fn write_postmortem(out: &mut String, pm: &PostMortem) {
+    out.push_str("{\"trigger\":");
+    write_json_string(out, &pm.trigger);
+    out.push_str(",\"opened_wave\":");
+    out.push_str(&pm.opened_wave.to_string());
+    out.push_str(",\"opened_at\":");
+    write_time(out, pm.opened_at);
+    out.push_str(",\"closed_wave\":");
+    out.push_str(&pm.closed_wave.to_string());
+    out.push_str(",\"entries\":[");
+    for (i, e) in pm.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_entry(out, e);
+    }
+    out.push_str("],\"series\":[");
+    for (i, (key, samples)) in pm.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_json_string(out, &key.name);
+        out.push_str(",\"labels\":");
+        write_labels(out, &key.labels);
+        out.push_str(",\"samples\":[");
+        for (j, s) in samples.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_sample(out, s);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+fn write_entry(out: &mut String, e: &FlightEntry) {
+    out.push_str("{\"wave\":");
+    out.push_str(&e.wave.to_string());
+    out.push_str(",\"t\":");
+    write_time(out, e.t);
+    out.push_str(",\"node\":");
+    match e.node {
+        Some(n) => out.push_str(&n.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"kind\":");
+    write_json_string(out, &e.kind);
+    out.push_str(",\"detail\":");
+    write_json_string(out, &e.detail);
+    out.push_str(",\"value\":");
+    write_f64(out, e.value);
+    out.push('}');
+}
+
+fn write_labels(out: &mut String, labels: &LabelSet) {
+    out.push('{');
+    for (i, (k, v)) in labels.pairs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, k);
+        out.push(':');
+        write_json_string(out, v);
+    }
+    out.push('}');
+}
+
+fn write_time(out: &mut String, t: TimeSecs) {
+    write_f64(out, t.as_secs());
+}
+
+/// Writes a finite float using shortest-roundtrip `{:?}` formatting;
+/// non-finite values degrade to 0 (mirrors `sn-trace::chrome`).
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push('0');
+    }
+}
+
+/// Escapes and quotes a string for JSON (mirrors `sn-trace::chrome`).
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::AlertKind;
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let report = ObsReport {
+            waves: 0,
+            series: Vec::new(),
+            alerts: Vec::new(),
+            postmortems: Vec::new(),
+        };
+        let json = to_json(&report);
+        assert!(json.starts_with("{\"schema\":\"sn-obs/v1\""));
+        assert!(json.contains("\"series\":[]"));
+        assert!(json.contains("\"alerts\":[]"));
+        assert!(json.ends_with("\"postmortems\":[]}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let report = ObsReport {
+            waves: 1,
+            series: Vec::new(),
+            alerts: vec![AlertEvent {
+                rule: "has \"quotes\" and \\slash\n".to_string(),
+                labels: LabelSet::from_pairs(&[("tenant", "naïve")]),
+                kind: AlertKind::Firing,
+                wave: 0,
+                at: TimeSecs::ZERO,
+                value: 1.5,
+                threshold: 1.0,
+            }],
+            postmortems: Vec::new(),
+        };
+        let json = to_json(&report);
+        assert!(json.contains("has \\\"quotes\\\" and \\\\slash\\n"));
+        assert!(json.contains("naïve"), "non-ASCII passes through raw");
+    }
+}

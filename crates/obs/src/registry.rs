@@ -1,0 +1,178 @@
+//! The labeled metric registry: a deterministic map from [`SeriesKey`]
+//! to live values, sampled into [`SeriesBuffer`]s at wave boundaries.
+//!
+//! During a wave the serving loop sets gauges (`gauge`) and accumulates
+//! counter deltas (`add`); at the wave boundary [`MetricRegistry::sample`]
+//! flushes every touched gauge and every known counter (counters sample
+//! densely — 0.0 on untouched waves — so windowed rates over them are
+//! well-defined). Storage is a `BTreeMap`, so iteration order — and
+//! therefore every export — is a pure function of the recorded keys,
+//! never of hash state.
+
+use crate::series::{MetricKind, Sample, SeriesBuffer, SeriesKey};
+use serde::{Deserialize, Serialize};
+use sn_arch::TimeSecs;
+use std::collections::BTreeMap;
+
+/// Sizing knobs for per-series storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistryConfig {
+    /// Downsampling ring capacity per series (buckets kept for the whole
+    /// run; compaction halves resolution when full).
+    pub ring_capacity: usize,
+    /// Raw recent-window capacity per series (samples kept verbatim for
+    /// alert evaluation and post-mortem bundles).
+    pub recent_capacity: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            ring_capacity: 256,
+            recent_capacity: 128,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SeriesState {
+    buffer: SeriesBuffer,
+    /// Gauge: value set this wave, if any. Counter: delta accumulated
+    /// this wave.
+    pending: Option<f64>,
+}
+
+/// Deterministic labeled-series store. See the module docs for the
+/// sampling contract.
+#[derive(Debug, Clone)]
+pub struct MetricRegistry {
+    config: RegistryConfig,
+    series: BTreeMap<SeriesKey, SeriesState>,
+}
+
+impl MetricRegistry {
+    /// An empty registry with the given sizing.
+    pub fn new(config: RegistryConfig) -> Self {
+        MetricRegistry {
+            config,
+            series: BTreeMap::new(),
+        }
+    }
+
+    fn state(&mut self, key: SeriesKey, kind: MetricKind) -> &mut SeriesState {
+        let config = self.config;
+        self.series.entry(key).or_insert_with(|| SeriesState {
+            buffer: SeriesBuffer::new(kind, config.ring_capacity, config.recent_capacity),
+            pending: None,
+        })
+    }
+
+    /// Sets a gauge for the current wave (last write in a wave wins).
+    pub fn gauge(&mut self, key: SeriesKey, value: f64) {
+        self.state(key, MetricKind::Gauge).pending = Some(value);
+    }
+
+    /// Adds to a counter's delta for the current wave.
+    pub fn add(&mut self, key: SeriesKey, delta: f64) {
+        let state = self.state(key, MetricKind::Counter);
+        state.pending = Some(state.pending.unwrap_or(0.0) + delta);
+    }
+
+    /// Closes the wave: flushes touched gauges and all counters (dense)
+    /// into their buffers, clearing pending values.
+    pub fn sample(&mut self, wave: usize, t: TimeSecs) {
+        for state in self.series.values_mut() {
+            let value = match (state.buffer.kind(), state.pending.take()) {
+                (_, Some(v)) => v,
+                (MetricKind::Counter, None) => 0.0,
+                (MetricKind::Gauge, None) => continue,
+            };
+            state.buffer.push(Sample { wave, t, value });
+        }
+    }
+
+    /// Looks up one series' buffer.
+    pub fn buffer(&self, key: &SeriesKey) -> Option<&SeriesBuffer> {
+        self.series.get(key).map(|s| &s.buffer)
+    }
+
+    /// All series in deterministic (sorted-key) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SeriesKey, &SeriesBuffer)> {
+        self.series.iter().map(|(k, s)| (k, &s.buffer))
+    }
+
+    /// All series whose metric name matches, sorted by labels.
+    pub fn by_name<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a SeriesKey, &'a SeriesBuffer)> {
+        self.iter().filter(move |(k, _)| k.name == name)
+    }
+
+    /// Number of distinct series recorded.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        SeriesKey::new(name, labels)
+    }
+
+    #[test]
+    fn gauges_sample_only_when_set() {
+        let mut reg = MetricRegistry::new(RegistryConfig::default());
+        reg.gauge(key("depth", &[]), 3.0);
+        reg.sample(0, TimeSecs::from_millis(1.0));
+        reg.sample(1, TimeSecs::from_millis(2.0)); // untouched wave
+        reg.gauge(key("depth", &[]), 5.0);
+        reg.sample(2, TimeSecs::from_millis(3.0));
+        let buf = reg.buffer(&key("depth", &[])).unwrap();
+        let waves: Vec<usize> = buf.recent().map(|s| s.wave).collect();
+        assert_eq!(waves, vec![0, 2], "wave 1 produced no gauge sample");
+    }
+
+    #[test]
+    fn counters_sample_densely_once_created() {
+        let mut reg = MetricRegistry::new(RegistryConfig::default());
+        reg.add(key("shed", &[("tenant", "a")]), 2.0);
+        reg.sample(0, TimeSecs::from_millis(1.0));
+        reg.sample(1, TimeSecs::from_millis(2.0)); // untouched -> 0.0
+        reg.add(key("shed", &[("tenant", "a")]), 1.0);
+        reg.add(key("shed", &[("tenant", "a")]), 1.0);
+        reg.sample(2, TimeSecs::from_millis(3.0));
+        let buf = reg.buffer(&key("shed", &[("tenant", "a")])).unwrap();
+        let vals: Vec<f64> = buf.recent().map(|s| s.value).collect();
+        assert_eq!(vals, vec![2.0, 0.0, 2.0]);
+        assert_eq!(buf.window_sum(3), 4.0);
+    }
+
+    #[test]
+    fn iteration_order_is_sorted_not_insertion() {
+        let mut reg = MetricRegistry::new(RegistryConfig::default());
+        reg.gauge(key("z_metric", &[]), 1.0);
+        reg.gauge(key("a_metric", &[("tenant", "b")]), 1.0);
+        reg.gauge(key("a_metric", &[("tenant", "a")]), 1.0);
+        reg.sample(0, TimeSecs::ZERO);
+        let names: Vec<String> = reg.iter().map(|(k, _)| k.render()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "a_metric{tenant=\"a\"}",
+                "a_metric{tenant=\"b\"}",
+                "z_metric"
+            ]
+        );
+        assert_eq!(reg.by_name("a_metric").count(), 2);
+        assert_eq!(reg.len(), 3);
+    }
+}

@@ -343,6 +343,45 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_window_yields_zero_gauges_not_nan() {
+        // Regression for the empty-window-NaN class of bug (cf. the PR 3
+        // LatencyBreakdown guards): a window whose batches all have zero
+        // latency divides by a serving time of 0.0 — every gauge must
+        // come out 0.0, not NaN/inf.
+        let mut t = SloTracker::new(machine(), SloConfig::default());
+        t.record(BatchObservation {
+            latency: TimeSecs::ZERO,
+            ttft: TimeSecs::ZERO,
+            prompts: 0,
+            tokens: 100, // tokens with no serving time: the worst case
+            hbm_bytes: Bytes::from_gb(1.0),
+            ddr_bytes: Bytes::from_gb(1.0),
+        });
+        let s = t.snapshot().unwrap();
+        assert_eq!(s.tokens_per_sec, 0.0);
+        assert_eq!(s.hbm_utilization, 0.0);
+        assert_eq!(s.ddr_utilization, 0.0);
+        assert!(s.tokens_per_sec.is_finite());
+        assert!(s.batch_latency_p99.as_secs().is_finite());
+        // The rendered dashboard carries no NaN either.
+        assert!(!s.render_table().contains("NaN"));
+    }
+
+    #[test]
+    fn quantile_helpers_are_zero_safe_on_empty_input() {
+        assert_eq!(nearest_rank_sorted(&[], 0.5), 0.0);
+        assert_eq!(nearest_rank_sorted(&[], 0.99), 0.0);
+        let mut empty: [f64; 0] = [];
+        sort_for_quantiles(&mut empty); // must not panic
+
+        // NaN samples sort without panicking and never poison the rank.
+        let mut with_nan = [3.0, f64::NAN, 1.0];
+        sort_for_quantiles(&mut with_nan);
+        let q = nearest_rank_sorted(&with_nan, 0.0);
+        assert!(q.is_finite() || q.is_nan()); // total order held, no panic
+    }
+
+    #[test]
     fn utilization_gauges_reflect_demand_over_serving_time() {
         let m = machine();
         let mut t = SloTracker::new(m, SloConfig::default());

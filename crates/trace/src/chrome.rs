@@ -204,4 +204,80 @@ mod tests {
         write_f64(&mut s, f64::INFINITY);
         assert_eq!(s, "00");
     }
+
+    /// Serializes one instant event with the given name and string arg,
+    /// parses the document back, and returns the (name, arg) strings the
+    /// parser saw.
+    fn round_trip(name: &str, arg: &str) -> (String, String) {
+        let e = TraceEvent {
+            name: name.into(),
+            track: Track::Coe,
+            tid: 0,
+            ts_us: 0.0,
+            kind: EventKind::Instant,
+            args: vec![("detail", ArgValue::Str(arg.into()))],
+        };
+        let doc = crate::json::parse(&to_chrome_json(&[e])).expect("writer emits valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        let event = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .expect("instant event present");
+        let parsed_name = event.get("name").and_then(|n| n.as_str()).unwrap();
+        let parsed_arg = event
+            .get("args")
+            .and_then(|a| a.get("detail"))
+            .and_then(|d| d.as_str())
+            .unwrap();
+        (parsed_name.to_string(), parsed_arg.to_string())
+    }
+
+    #[test]
+    fn escaped_names_round_trip_through_the_parser() {
+        for s in [
+            "plain",
+            "has \"double quotes\"",
+            "back\\slash and \\\\ doubled",
+            "tab\there, newline\nthere, return\rback",
+            "control \u{01}\u{02}\u{1f} chars",
+            "non-ASCII: naïve café 日本語 🚀",
+            "mixed \"q\\u\\\"ote\" \n\t 終",
+        ] {
+            let (name, arg) = round_trip(s, s);
+            assert_eq!(name, s, "event name must round-trip");
+            assert_eq!(arg, s, "string arg must round-trip");
+        }
+    }
+
+    #[test]
+    fn counter_names_round_trip_through_the_parser() {
+        let e = TraceEvent {
+            name: "hbm \"used\" \\ fraction".into(),
+            track: Track::Memsim,
+            tid: 0,
+            ts_us: 0.0,
+            kind: EventKind::Counter { value: 0.25 },
+            args: vec![],
+        };
+        let doc = crate::json::parse(&to_chrome_json(&[e])).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let counter = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .expect("counter event present");
+        assert_eq!(
+            counter.get("name").and_then(|n| n.as_str()),
+            Some("hbm \"used\" \\ fraction")
+        );
+        assert_eq!(
+            counter
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|v| v.as_f64()),
+            Some(0.25)
+        );
+    }
 }

@@ -143,11 +143,21 @@ pub enum Counter {
     /// the placement policy so router bursts split across sockets (PR 7
     /// placement).
     ExpertsReplicated,
+    /// Unit: alerts. Alert rules that transitioned to firing during the
+    /// run — each transition, not each breaching wave (PR 8 obs).
+    AlertsFired,
+    /// Unit: alerts. Alert rules that transitioned back to resolved
+    /// during the run (PR 8 obs).
+    AlertsResolved,
+    /// Unit: bundles. Post-mortem flight-recorder bundles frozen during
+    /// the run — one per incident window, alert- or chaos-triggered
+    /// (PR 8 obs).
+    PostmortemsCaptured,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 37] = [
+    pub const ALL: [Counter; 40] = [
         Counter::PmuAccessCycles,
         Counter::PmuBankConflictCycles,
         Counter::PcusOccupied,
@@ -185,6 +195,9 @@ impl Counter {
         Counter::PrefetchWastedBytes,
         Counter::KvPagesEvicted,
         Counter::ExpertsReplicated,
+        Counter::AlertsFired,
+        Counter::AlertsResolved,
+        Counter::PostmortemsCaptured,
     ];
 
     /// Number of counters (size of the tracer's accumulation array).
@@ -235,6 +248,9 @@ impl Counter {
             Counter::PrefetchWastedBytes => "prefetch_wasted_bytes",
             Counter::KvPagesEvicted => "kv_pages_evicted",
             Counter::ExpertsReplicated => "experts_replicated",
+            Counter::AlertsFired => "alerts_fired",
+            Counter::AlertsResolved => "alerts_resolved",
+            Counter::PostmortemsCaptured => "postmortems_captured",
         }
     }
 
@@ -272,6 +288,8 @@ impl Counter {
             Counter::ScaleUps | Counter::ScaleDowns => "events",
             Counter::PrefetchIssued | Counter::PrefetchHits => "prefetches",
             Counter::KvPagesEvicted => "pages",
+            Counter::AlertsFired | Counter::AlertsResolved => "alerts",
+            Counter::PostmortemsCaptured => "bundles",
         }
     }
 }
@@ -651,6 +669,37 @@ mod tests {
                 prev = u;
             }
             prop_assert!(h.quantile_upper_ns(1.0) >= h.max_ns());
+        }
+
+        /// Merging two histograms is indistinguishable from recording the
+        /// concatenated sample stream into one: identical state, and
+        /// therefore identical quantiles at every q.
+        #[test]
+        fn merged_quantiles_equal_concatenated_quantiles(
+            xs in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+            ys in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+        ) {
+            let mut merged = Histogram::new();
+            for &v in &xs {
+                merged.record(v);
+            }
+            let mut other = Histogram::new();
+            for &v in &ys {
+                other.record(v);
+            }
+            merged.merge(&other);
+            let mut concat = Histogram::new();
+            for &v in xs.iter().chain(&ys) {
+                concat.record(v);
+            }
+            prop_assert_eq!(&merged, &concat);
+            for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                prop_assert_eq!(
+                    merged.quantile(q),
+                    concat.quantile(q),
+                    "q={} diverged after merge", q
+                );
+            }
         }
     }
 }

@@ -137,4 +137,35 @@ mod tests {
         assert!(r.is_empty());
         assert!(r.render_table().contains("no metrics"));
     }
+
+    #[test]
+    fn zero_sample_gauges_render_zero_not_nan() {
+        // Regression for the empty-window-NaN class of bug: a histogram
+        // whose only samples are zero-valued, and a hand-built report
+        // carrying a fully empty histogram, must both render finite
+        // numbers (mean 0, quantiles 0) — never NaN.
+        let mut counters = [0u64; Counter::COUNT];
+        counters[Counter::AlertsFired.index()] = 0; // stays filtered out
+        let mut hists = vec![Histogram::new(); Metric::COUNT];
+        hists[Metric::Request.index()].record(0);
+        hists[Metric::Request.index()].record(0);
+        let r = MetricsReport::from_raw(&counters, &hists);
+        let h = r.histogram(Metric::Request).unwrap();
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min_ns(), 0);
+        let table = r.render_table();
+        assert!(!table.contains("NaN"), "table: {table}");
+
+        // A report constructed with an empty histogram (bypassing the
+        // from_raw filter) still renders finite stats.
+        let forced = MetricsReport {
+            counters: vec![],
+            histograms: vec![(Metric::Request, Histogram::new())],
+        };
+        let empty = forced.histogram(Metric::Request).unwrap();
+        assert_eq!(empty.mean_ns(), 0.0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert!(!forced.render_table().contains("NaN"));
+    }
 }

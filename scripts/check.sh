@@ -49,4 +49,24 @@ fi
 grep -q "PLACEMENT POLICIES" /tmp/placement_jobs1.out
 rm -f /tmp/placement_jobs1.out /tmp/placement_jobs4.out
 
+echo "==> repro obs smoke (burn-rate alerts + flight recorder, --jobs parity)"
+# One shared export path: the printed "wrote <path>" line is part of the
+# byte-identity contract, so it must not vary between the two runs.
+./target/release/repro --jobs 1 --obs /tmp/obs_check.json obs > /tmp/obs_jobs1.out
+mv /tmp/obs_check.json /tmp/obs_jobs1.json
+./target/release/repro --jobs 2 --obs /tmp/obs_check.json obs > /tmp/obs_jobs2.out
+if ! diff -u /tmp/obs_jobs1.out /tmp/obs_jobs2.out; then
+  echo "obs sweep output differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+if ! diff -q /tmp/obs_jobs1.json /tmp/obs_check.json; then
+  echo "--obs export differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+grep -q "OBSERVABILITY" /tmp/obs_jobs1.out
+grep -q "firing" /tmp/obs_jobs1.out
+grep -q "resolved" /tmp/obs_jobs1.out
+grep -q '"schema":"sn-obs/v1"' /tmp/obs_jobs1.json
+rm -f /tmp/obs_jobs1.out /tmp/obs_jobs2.out /tmp/obs_jobs1.json /tmp/obs_check.json
+
 echo "All checks passed."
