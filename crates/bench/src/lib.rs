@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod experiments;
 pub mod faults;
+pub mod intra;
 pub mod obs;
 pub mod par;
 pub mod placement;

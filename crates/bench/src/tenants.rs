@@ -199,6 +199,25 @@ pub fn sweep_controller() -> AutoscaleController {
     )
 }
 
+/// The sweep's starting cluster at an explicit intra-run job count —
+/// shared by the report helpers here and the `intra_diff` differential
+/// harness, so both always race the same shape.
+///
+/// # Panics
+///
+/// Panics if the expert library cannot be placed on the starting
+/// cluster (a configuration bug, not a runtime condition).
+pub fn sweep_cluster_intra(intra_jobs: usize) -> CoeCluster {
+    CoeCluster::new(
+        NodeSpec::sn40l_node(),
+        SWEEP_NODES,
+        ExpertLibrary::new(SWEEP_EXPERTS),
+        SWEEP_PROMPT_TOKENS,
+    )
+    .expect("sweep library fits the starting cluster")
+    .with_intra_jobs(intra_jobs)
+}
+
 /// Runs the full scenario report for one `(seed, load)` point.
 ///
 /// # Panics
@@ -206,13 +225,21 @@ pub fn sweep_controller() -> AutoscaleController {
 /// Panics if the expert library cannot be placed on the starting
 /// cluster (a configuration bug, not a runtime condition).
 pub fn tenants_report_seeded(seed: u64, load: f64) -> TenancyReport {
-    let mut cluster = CoeCluster::new(
-        NodeSpec::sn40l_node(),
-        SWEEP_NODES,
-        ExpertLibrary::new(SWEEP_EXPERTS),
-        SWEEP_PROMPT_TOKENS,
-    )
-    .expect("sweep library fits the starting cluster");
+    tenants_report_seeded_intra(seed, load, 1)
+}
+
+/// [`tenants_report_seeded`] with the intra-run parallelism knob:
+/// `intra_jobs <= 1` runs the sequential reference wave engine,
+/// `intra_jobs > 1` fans per-node lanes across that many threads inside
+/// each wave. Byte-identical reports for every value — that is the
+/// `intra_diff` contract.
+///
+/// # Panics
+///
+/// Panics if the expert library cannot be placed on the starting
+/// cluster (a configuration bug, not a runtime condition).
+pub fn tenants_report_seeded_intra(seed: u64, load: f64, intra_jobs: usize) -> TenancyReport {
+    let mut cluster = sweep_cluster_intra(intra_jobs);
     let mut config = sweep_config();
     config.seed = seed;
     let chaos = sweep_chaos(seed);
@@ -236,7 +263,12 @@ pub fn tenants_point(load: f64) -> TenantSweepPoint {
 /// sweep several seeds to show the parallel/sequential bit-identity is
 /// not an artifact of one lucky arrival pattern.
 pub fn tenants_point_seeded(seed: u64, load: f64) -> TenantSweepPoint {
-    let report = tenants_report_seeded(seed, load);
+    tenants_point_seeded_intra(seed, load, 1)
+}
+
+/// [`tenants_point_seeded`] at an explicit intra-run job count.
+pub fn tenants_point_seeded_intra(seed: u64, load: f64, intra_jobs: usize) -> TenantSweepPoint {
+    let report = tenants_report_seeded_intra(seed, load, intra_jobs);
     let scale_ups = report
         .scale_events
         .iter()
@@ -280,6 +312,16 @@ pub fn tenants_sweep_jobs(jobs: usize) -> Vec<TenantSweepPoint> {
 pub fn tenants_sweep_seeded_jobs(seed: u64, jobs: usize) -> Vec<TenantSweepPoint> {
     crate::par::ordered_map(jobs, SWEEP_LOADS, |_, &load| {
         tenants_point_seeded(seed, load)
+    })
+}
+
+/// [`tenants_sweep_jobs`] at an explicit intra-run job count: `jobs`
+/// fans whole sweep points across threads (inter-run), `intra_jobs` fans
+/// per-node lanes inside every wave of every point (intra-run). The two
+/// axes compose, and neither moves a single output byte.
+pub fn tenants_sweep_intra(jobs: usize, intra_jobs: usize) -> Vec<TenantSweepPoint> {
+    crate::par::ordered_map(jobs, SWEEP_LOADS, |_, &load| {
+        tenants_point_seeded_intra(SWEEP_SEED, load, intra_jobs)
     })
 }
 

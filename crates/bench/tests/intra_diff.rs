@@ -1,0 +1,521 @@
+//! Differential harness for intra-run parallelism: everything the
+//! cluster serving path produces — tenancy reports, wave-outcome
+//! streams, batch reports, trace counters, obs exports, bench info —
+//! must be **byte-identical** at every `--intra-jobs` value. The lane
+//! engine (`sn_coe::lanes`) argues this structurally (stateful work
+//! stays sequential on the coordinator; lanes run pure per-node float
+//! chains); this harness is the enforcement: hundreds of generated
+//! cases sweeping seeds × topologies × chaos schedules × job counts,
+//! with `CaseRng` shrinking down to a minimal diverging scenario.
+
+#[path = "../../../tests/common/mod.rs"]
+mod common;
+
+use common::topology::ClusterTopology;
+use common::{check_cases, CaseRng};
+use sn_arch::TimeSecs;
+use sn_bench::tenants;
+use sn_coe::scheduler::{ArrivalPattern, ArrivalProcess, SchedulerConfig};
+use sn_coe::{
+    ClassPolicy, PolicyConfig, PromptGenerator, RateLimit, ServingPolicies, SloClass,
+    TenancyConfig, TenancyReport, TenantSpec, WaveOutcome, WaveSlot,
+};
+use sn_faults::{ChaosSchedule, FaultSite, FaultSpec};
+use sn_trace::Tracer;
+
+/// Job counts every case is swept across; 1 is the sequential
+/// reference the others must match bit-for-bit.
+const JOB_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Worker threads for the property harness itself (batch boundaries
+/// are fixed, so the verdict is jobs-invariant).
+const HARNESS_JOBS: usize = 4;
+
+// ---------------------------------------------------------------------
+// Property 1: full tenancy runs (chaos + autoscaler-free), with trace
+// counters and optional serving policies riding along.
+// ---------------------------------------------------------------------
+
+/// One generated end-to-end tenancy scenario.
+#[derive(Debug, Clone)]
+struct TenancyDiffCase {
+    topology: ClusterTopology,
+    seed: u64,
+    interactive_requests: usize,
+    batch_requests: usize,
+    per_node_slots: usize,
+    wave_tokens: usize,
+    /// Attach a [`ServingPolicies`] bundle (prefetch + placement + the
+    /// topology's paged-KV budget) — the policy path routes through the
+    /// same memoized-route boundary the lane engine uses.
+    policies: bool,
+    /// 0 = none, 1 = outage, 2 = fabric fault window, 3 = both.
+    chaos: u8,
+}
+
+fn gen_tenancy_case(rng: &mut CaseRng) -> TenancyDiffCase {
+    TenancyDiffCase {
+        topology: ClusterTopology::generate(rng),
+        seed: rng.next_u64(),
+        interactive_requests: rng.usize_in(0, 24),
+        batch_requests: rng.usize_in(0, 16),
+        per_node_slots: rng.usize_in(1, 5),
+        wave_tokens: rng.usize_in(1, 9),
+        policies: rng.f64() < 0.5,
+        chaos: rng.usize_in(0, 4) as u8,
+    }
+}
+
+fn shrink_tenancy_case(case: &TenancyDiffCase) -> Vec<TenancyDiffCase> {
+    let mut out: Vec<TenancyDiffCase> = case
+        .topology
+        .shrink()
+        .into_iter()
+        .map(|topology| TenancyDiffCase {
+            topology,
+            ..case.clone()
+        })
+        .collect();
+    if case.chaos != 0 {
+        out.push(TenancyDiffCase {
+            chaos: 0,
+            ..case.clone()
+        });
+    }
+    if case.policies {
+        out.push(TenancyDiffCase {
+            policies: false,
+            ..case.clone()
+        });
+    }
+    if case.interactive_requests > 0 {
+        out.push(TenancyDiffCase {
+            interactive_requests: case.interactive_requests / 2,
+            ..case.clone()
+        });
+    }
+    if case.batch_requests > 0 {
+        out.push(TenancyDiffCase {
+            batch_requests: case.batch_requests / 2,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+fn case_chaos(case: &TenancyDiffCase) -> Option<ChaosSchedule> {
+    if case.chaos == 0 {
+        return None;
+    }
+    let mut chaos = ChaosSchedule::new(case.seed);
+    if case.chaos & 1 != 0 {
+        chaos = chaos.with_outage(
+            &[1],
+            TimeSecs::from_secs(0.02),
+            Some(TimeSecs::from_secs(0.4)),
+        );
+    }
+    if case.chaos & 2 != 0 {
+        chaos = chaos.with_window(
+            FaultSite::SocketLink,
+            FaultSpec {
+                fail_rate: 0.15,
+                slow_rate: 0.25,
+                slow_factor: 1.5,
+            },
+            TimeSecs::ZERO,
+            TimeSecs::from_secs(0.5),
+        );
+    }
+    Some(chaos)
+}
+
+/// Runs the case at one `intra_jobs` value and returns everything the
+/// run produced: the tenancy report and the rendered trace-counter
+/// table (string compare = byte compare).
+fn tenancy_run(
+    case: &TenancyDiffCase,
+    intra_jobs: usize,
+) -> Result<(TenancyReport, String), String> {
+    let tracer = Tracer::enabled();
+    let mut cluster = case
+        .topology
+        .build_jobs(intra_jobs)
+        .with_tracer(tracer.clone());
+    let config = TenancyConfig {
+        seed: case.seed,
+        prompt_tokens: case.topology.prompt_tokens,
+        wave_tokens: case.wave_tokens,
+        per_node_slots: case.per_node_slots,
+        interactive: ClassPolicy {
+            queue_cap: 32,
+            deadline: TimeSecs::from_millis(400.0),
+            slo_bound: TimeSecs::from_millis(250.0),
+            chunks: 1,
+        },
+        batch: ClassPolicy {
+            queue_cap: 32,
+            deadline: TimeSecs::from_secs(30.0),
+            slo_bound: TimeSecs::from_secs(10.0),
+            chunks: 2,
+        },
+        max_waves: 10_000,
+    };
+    let tenant_specs = [
+        TenantSpec {
+            name: "i".into(),
+            class: SloClass::Interactive,
+            pattern: ArrivalPattern::Poisson { rate_rps: 150.0 },
+            requests: case.interactive_requests,
+            rate_limit: RateLimit::unlimited(),
+        },
+        TenantSpec {
+            name: "b".into(),
+            class: SloClass::Batch,
+            pattern: ArrivalPattern::Burst,
+            requests: case.batch_requests,
+            rate_limit: RateLimit::unlimited(),
+        },
+    ];
+    let chaos = case_chaos(case);
+    let mut policies = case.policies.then(|| {
+        ServingPolicies::new(
+            case.topology.experts,
+            PolicyConfig {
+                kv: Some(case.topology.kv_config()),
+                ..PolicyConfig::default()
+            },
+        )
+    });
+    let report = cluster
+        .serve_tenants_with_policies(
+            &tenant_specs,
+            &config,
+            chaos.as_ref(),
+            None,
+            policies.as_mut(),
+        )
+        .map_err(|e| format!("serve_tenants failed at {intra_jobs} jobs: {e:?}"))?;
+    Ok((report, tracer.metrics().render_table()))
+}
+
+/// ≥100 generated chaos scenarios, each served at every job count: the
+/// tenancy report (every record, shed, timing, and counter field) and
+/// the rendered trace table must match the sequential run exactly.
+#[test]
+fn property_tenancy_reports_are_intra_jobs_invariant() {
+    check_cases(
+        "tenancy runs are intra-jobs invariant",
+        60,
+        0x0001_a7e5_d1ff,
+        HARNESS_JOBS,
+        gen_tenancy_case,
+        shrink_tenancy_case,
+        || (),
+        |(), case| {
+            let reference = tenancy_run(case, 1)?;
+            for &jobs in &JOB_COUNTS[1..] {
+                let got = tenancy_run(case, jobs)?;
+                if got.0 != reference.0 {
+                    return Err(format!(
+                        "tenancy report diverged at intra-jobs {jobs}: \
+                         waves {} vs {}, records {} vs {}, makespan {} vs {}",
+                        got.0.waves,
+                        reference.0.waves,
+                        got.0.records.len(),
+                        reference.0.records.len(),
+                        got.0.makespan,
+                        reference.0.makespan,
+                    ));
+                }
+                if got.1 != reference.1 {
+                    return Err(format!(
+                        "trace counters diverged at intra-jobs {jobs}:\n{}\nvs\n{}",
+                        got.1, reference.1
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property 2: raw wave streams with mid-run failures and restores.
+// ---------------------------------------------------------------------
+
+/// One generated serve_wave / serve_batch schedule.
+#[derive(Debug, Clone)]
+struct WaveDiffCase {
+    topology: ClusterTopology,
+    seed: u64,
+    waves: usize,
+    slots_per_wave: usize,
+    wave_tokens: usize,
+    /// Fail node 0 at this wave (and restore it two waves later) —
+    /// exercises the degraded preamble and failover adoption inside the
+    /// lane engine's dispatcher.
+    fail_at: Option<usize>,
+}
+
+fn gen_wave_case(rng: &mut CaseRng) -> WaveDiffCase {
+    let waves = rng.usize_in(1, 8);
+    WaveDiffCase {
+        topology: ClusterTopology::generate(rng),
+        seed: rng.next_u64(),
+        waves,
+        slots_per_wave: rng.usize_in(1, 48),
+        wave_tokens: rng.usize_in(1, 9),
+        fail_at: if rng.f64() < 0.4 {
+            Some(rng.usize_in(0, waves))
+        } else {
+            None
+        },
+    }
+}
+
+fn shrink_wave_case(case: &WaveDiffCase) -> Vec<WaveDiffCase> {
+    let mut out: Vec<WaveDiffCase> = case
+        .topology
+        .shrink()
+        .into_iter()
+        .map(|topology| WaveDiffCase {
+            topology,
+            ..case.clone()
+        })
+        .collect();
+    if case.fail_at.is_some() {
+        out.push(WaveDiffCase {
+            fail_at: None,
+            ..case.clone()
+        });
+    }
+    if case.waves > 1 {
+        out.push(WaveDiffCase {
+            waves: case.waves / 2,
+            fail_at: case.fail_at.filter(|&w| w < case.waves / 2),
+            ..case.clone()
+        });
+    }
+    if case.slots_per_wave > 1 {
+        out.push(WaveDiffCase {
+            slots_per_wave: case.slots_per_wave / 2,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+/// Serves the schedule at one job count: a wave stream with the
+/// scripted failure/restore, then one `serve_batch` on the warmed
+/// cluster (covering the batch path's memoized route pass too).
+/// Errors are part of the compared stream — an all-down wave must
+/// return the identical `NoHealthyNodes` at every job count.
+fn wave_run(case: &WaveDiffCase, intra_jobs: usize) -> (Vec<Result<WaveOutcome, String>>, String) {
+    let mut cluster = case.topology.build_jobs(intra_jobs);
+    let mut prompts = PromptGenerator::new(case.seed, case.topology.prompt_tokens);
+    let mut outcomes = Vec::with_capacity(case.waves);
+    for wave in 0..case.waves {
+        if case.fail_at == Some(wave) {
+            cluster.fail_node(0);
+        }
+        if case.fail_at.map(|w| w + 2) == Some(wave) {
+            cluster.restore_node(0);
+        }
+        let slots: Vec<WaveSlot> = prompts
+            .batch(case.slots_per_wave)
+            .into_iter()
+            .enumerate()
+            .map(|(i, prompt)| WaveSlot {
+                prompt,
+                prefill: (i + wave) % 3 != 0,
+            })
+            .collect();
+        outcomes.push(
+            cluster
+                .serve_wave(&slots, case.wave_tokens)
+                .map_err(|e| format!("{e:?}")),
+        );
+    }
+    let batch_report = if cluster.healthy_nodes() > 0 {
+        let batch = prompts.batch(case.slots_per_wave.max(1));
+        format!("{:?}", cluster.serve_batch(&batch, case.wave_tokens))
+    } else {
+        "all nodes down".to_string()
+    };
+    (outcomes, batch_report)
+}
+
+/// ≥100 generated wave schedules (including mid-run crash/restore),
+/// each served at every job count: every `WaveOutcome` — placements,
+/// per-node busy times, latency, hit/miss counters — and the follow-up
+/// batch report must be bit-identical to the sequential run.
+#[test]
+fn property_wave_streams_are_intra_jobs_invariant() {
+    check_cases(
+        "wave streams are intra-jobs invariant",
+        60,
+        0x0a0e_57f3,
+        HARNESS_JOBS,
+        gen_wave_case,
+        shrink_wave_case,
+        || (),
+        |(), case| {
+            let reference = wave_run(case, 1);
+            for &jobs in &JOB_COUNTS[1..] {
+                let got = wave_run(case, jobs);
+                if got.0 != reference.0 {
+                    let wave = got
+                        .0
+                        .iter()
+                        .zip(&reference.0)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(reference.0.len().min(got.0.len()));
+                    return Err(format!(
+                        "wave stream diverged at intra-jobs {jobs}, first at wave {wave}"
+                    ));
+                }
+                if got.1 != reference.1 {
+                    return Err(format!("batch report diverged at intra-jobs {jobs}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fixed differential anchors on the bench-scale scenarios.
+// ---------------------------------------------------------------------
+
+/// The full chaos sweep point (6-node cluster, outage + fault window +
+/// autoscaler) at several seeds: the complete report must be
+/// bit-identical across job counts.
+#[test]
+fn tenants_chaos_scenario_is_intra_jobs_invariant() {
+    for seed in [tenants::SWEEP_SEED, 1, 0xdead_beef] {
+        let reference = tenants::tenants_report_seeded_intra(seed, 2.0, 1);
+        for &jobs in &JOB_COUNTS[1..] {
+            assert_eq!(
+                reference,
+                tenants::tenants_report_seeded_intra(seed, 2.0, jobs),
+                "tenants chaos report diverged at intra-jobs {jobs}, seed {seed:#x}"
+            );
+        }
+    }
+}
+
+/// The observability pipeline reads serving state at wave boundaries;
+/// its exported `sn-obs/v1` document (series, alerts, post-mortems)
+/// must come out byte-identical at any intra-job count.
+#[test]
+fn obs_export_is_intra_jobs_invariant() {
+    let run = |intra_jobs: usize| {
+        let mut cluster = tenants::sweep_cluster_intra(intra_jobs);
+        let mut config = tenants::sweep_config();
+        config.seed = tenants::SWEEP_SEED;
+        let chaos = tenants::sweep_chaos(tenants::SWEEP_SEED);
+        let mut controller = tenants::sweep_controller();
+        let obs = sn_obs::Obs::enabled(sn_bench::obs::obs_config(2.0));
+        let report = cluster
+            .serve_tenants_observed(
+                &tenants::sweep_tenants(2.0),
+                &config,
+                Some(&chaos),
+                Some(&mut controller),
+                None,
+                &obs,
+            )
+            .expect("observed scenario serves");
+        (report, obs.finalize().expect("enabled pipeline").to_json())
+    };
+    let (report_seq, json_seq) = run(1);
+    for &jobs in &JOB_COUNTS[1..] {
+        let (report, json) = run(jobs);
+        assert_eq!(
+            report_seq, report,
+            "observed tenancy report diverged at intra-jobs {jobs}"
+        );
+        assert_eq!(
+            json_seq, json,
+            "obs export bytes diverged at intra-jobs {jobs}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Committed snapshot: the intra speedup landed with zero metric drift.
+// ---------------------------------------------------------------------
+
+fn committed_snapshot(name: &str) -> sn_profile::BenchSnapshot {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    sn_profile::BenchSnapshot::from_json(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"))
+}
+
+/// The committed PR 9 snapshot must carry the intra-run timing rows
+/// (wall-clock per job count, speedups above 1.0, and the run digest)
+/// while every *tracked* metric stays exactly the PR 7 baseline — the
+/// speedup was not bought with a single drifted number.
+#[test]
+fn committed_bench_pr9_records_intra_speedup_with_zero_metric_drift() {
+    let pr9 = committed_snapshot("BENCH_PR9.json");
+    let pr7 = committed_snapshot("BENCH_PR7.json");
+    assert_eq!(
+        pr7.metrics, pr9.metrics,
+        "tracked metrics drifted between BENCH_PR7.json and BENCH_PR9.json"
+    );
+    let info = |key: &str| -> &str {
+        pr9.info
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("BENCH_PR9.json missing info row {key}"))
+    };
+    assert_eq!(info("intra_digest").len(), 16, "16-hex-digit run digest");
+    info("intra_wall_ms_1jobs");
+    for jobs in [2usize, 4] {
+        info(&format!("intra_wall_ms_{jobs}jobs"));
+        let speedup: f64 = info(&format!("intra_speedup_{jobs}jobs"))
+            .parse()
+            .expect("numeric speedup row");
+        assert!(
+            speedup > 1.0,
+            "intra-jobs {jobs} must beat the sequential wall-clock, got {speedup}x"
+        );
+    }
+}
+
+/// serve_online on a single node routes through the same memoized
+/// route-one boundary; the scheduler's reports must not move either.
+#[test]
+fn serve_online_is_intra_jobs_invariant() {
+    for seed in [0x5eed_u64, 0xcafe] {
+        let run = |intra_jobs: usize| {
+            let mut node = ClusterTopology {
+                nodes: 2,
+                experts: 150,
+                prompt_tokens: 512,
+                grown_nodes: 0,
+                rebalanced: false,
+                failed_node: None,
+                kv_budget_pages: 16,
+            }
+            .build_node()
+            .with_intra_jobs(intra_jobs);
+            let requests = ArrivalProcess::poisson(seed, 512, 40.0).generate(12);
+            node.serve_online(&requests, 12, SchedulerConfig::bounded(4))
+        };
+        let reference = run(1);
+        for &jobs in &JOB_COUNTS[1..] {
+            assert_eq!(
+                reference,
+                run(jobs),
+                "serve_online diverged at intra-jobs {jobs}, seed {seed:#x}"
+            );
+        }
+    }
+}

@@ -343,6 +343,56 @@ mod tests {
     }
 
     #[test]
+    fn eviction_fires_at_exactly_full_budget() {
+        // Fill the cache to exactly its capacity — no eviction yet —
+        // then one more page must evict exactly one victim and leave
+        // residency pinned at capacity.
+        let mut kv = tiny(4);
+        let t = kv.touch(1, 16); // 4 pages: exactly full
+        assert_eq!(t.allocated, 4);
+        assert_eq!(t.evicted, 0, "filling to the boundary evicts nothing");
+        assert_eq!(kv.stats().pages_resident, kv.capacity_pages());
+        let t = kv.touch(2, 4); // 1 page over
+        assert_eq!(t.allocated, 1);
+        assert_eq!(t.evicted, 1, "the page past the boundary evicts one");
+        let s = kv.stats();
+        assert_eq!(s.pages_resident, kv.capacity_pages());
+        assert_eq!(s.pages_in, s.pages_resident + s.pages_evicted);
+    }
+
+    #[test]
+    fn zero_token_touch_still_pins_one_page() {
+        // A request with no context yet still owns a page (`pages_for`
+        // rounds up to at least one), so an empty decode slot cannot
+        // slip through the budget accounting.
+        let mut kv = tiny(4);
+        assert_eq!(kv.pages_for(0), 1);
+        let t = kv.touch(9, 0);
+        assert_eq!(t.allocated, 1);
+        assert_eq!(kv.stats().pages_resident, 1);
+        // Touching again is a no-op: the page is already resident.
+        let t = kv.touch(9, 0);
+        assert_eq!(t.allocated + t.refaulted + t.evicted, 0);
+    }
+
+    #[test]
+    fn oversized_context_evicts_its_own_oldest_pages() {
+        // One sequence larger than the whole budget: the touch evicts
+        // its own earliest pages mid-loop, conservation holds, and the
+        // next touch refaults what was self-evicted.
+        let mut kv = tiny(2);
+        let t = kv.touch(1, 16); // 4 pages through a 2-page cache
+        assert_eq!(t.allocated, 4);
+        assert_eq!(t.evicted, 2, "the walk displaced its own head");
+        let s = kv.stats();
+        assert_eq!(s.pages_resident, kv.capacity_pages());
+        assert_eq!(s.pages_in, s.pages_resident + s.pages_evicted);
+        let t = kv.touch(1, 16);
+        assert!(t.refaulted > 0, "self-evicted pages come back as refaults");
+        assert_eq!(t.allocated, 0, "nothing above the high-water mark");
+    }
+
+    #[test]
     fn touch_after_finish_restarts_the_sequence() {
         let mut kv = tiny(8);
         kv.touch(1, 8);

@@ -1,0 +1,206 @@
+//! Intra-run parallelism: per-node work lanes inside one serving wave.
+//!
+//! PR 5 parallelized *across* sweep points; a single large cluster run
+//! was still one sequential event loop. This module holds the knobs and
+//! pure helpers for parallelizing *inside* a run: [`ParMode`] selects
+//! the engine, and [`RouteTable`] memoizes the router's (pure, finite)
+//! input space so the per-wave route pass is a table lookup instead of
+//! a hash per slot.
+//!
+//! The contract is the repo's signature guarantee extended one level
+//! down: every report, trace counter, and export is **byte-identical**
+//! at any `intra_jobs`. The design that makes this provable:
+//!
+//! - everything stateful (fault-plan RNG draws, expert activation /
+//!   LRU mutation, failover adoption, tracer events) stays on the
+//!   coordinator thread in the exact sequential order;
+//! - only *pure per-node arithmetic* (the slot cursor walks) fans out
+//!   to lanes, and each node's float operations form the identical
+//!   chain the sequential loop would execute;
+//! - a conservative barrier at the wave boundary joins all lanes before
+//!   any result is observed.
+
+use crate::router::{Domain, Prompt, Router};
+
+/// Residue classes of `Prompt::id` the router distinguishes: its hash
+/// keys on `(seed, domain, id % 16)`, so 16 classes per domain cover
+/// the entire routing input space. [`RouteTable::build`] asserts this
+/// stays in sync with [`Router::route`].
+const ID_CLASSES: u64 = 16;
+
+/// How a cluster executes the inside of one serving wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParMode {
+    /// The legacy single-threaded event loop — the differential
+    /// reference path, untouched.
+    Sequential,
+    /// Per-node work lanes fanned across this many worker threads, with
+    /// a conservative barrier at wave boundaries. Byte-identical to
+    /// [`ParMode::Sequential`] by construction (and by the
+    /// `intra_diff` harness).
+    Threads(usize),
+}
+
+impl ParMode {
+    /// Maps a job count to a mode: `jobs <= 1` is the sequential
+    /// reference path, mirroring `sn_bench::par::ordered_map`.
+    pub fn from_jobs(jobs: usize) -> ParMode {
+        if jobs <= 1 {
+            ParMode::Sequential
+        } else {
+            ParMode::Threads(jobs)
+        }
+    }
+
+    /// The worker count this mode fans across (1 for sequential).
+    pub fn jobs(self) -> usize {
+        match self {
+            ParMode::Sequential => 1,
+            ParMode::Threads(jobs) => jobs.max(2),
+        }
+    }
+}
+
+/// Precomputed routing decisions over the router's whole input space.
+///
+/// [`Router::route`] hashes `(seed, domain, id % 16)`: with |domains| ×
+/// 16 possible keys the entire function is enumerable up front. The
+/// table is built by *calling the router itself* on one probe prompt
+/// per key, so every entry is bit-identical to a live route by
+/// construction — there is no reimplementation to drift.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    experts: Vec<usize>,
+    n_experts: usize,
+}
+
+impl RouteTable {
+    /// Enumerates the router over every `(domain, id class)` key.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_experts` is zero (same contract as
+    /// [`Router::route`]).
+    pub fn build(router: &Router, n_experts: usize) -> RouteTable {
+        assert!(n_experts > 0, "routing requires at least one expert");
+        let domains = Domain::ALL.len();
+        let mut experts = vec![0usize; domains * ID_CLASSES as usize];
+        for &domain in &Domain::ALL {
+            // `Domain` is a plain enum declared in `Domain::ALL` order,
+            // so the discriminant doubles as the table row.
+            let d = domain as usize;
+            for class in 0..ID_CLASSES {
+                let probe = Prompt {
+                    id: class,
+                    domain,
+                    tokens: 1,
+                };
+                experts[d * ID_CLASSES as usize + class as usize] = router.route(&probe, n_experts);
+            }
+        }
+        RouteTable { experts, n_experts }
+    }
+
+    /// The expert library size this table was built for.
+    pub fn n_experts(&self) -> usize {
+        self.n_experts
+    }
+
+    /// The memoized route — bit-identical to
+    /// `router.route(prompt, n_experts)` for the building router.
+    #[inline]
+    pub fn route(&self, prompt: &Prompt) -> usize {
+        let d = prompt.domain as usize;
+        self.experts[d * ID_CLASSES as usize + (prompt.id % ID_CLASSES) as usize]
+    }
+}
+
+/// Disjoint-index shared writer: lets lanes write their slots' results
+/// straight into the wave's output vector instead of buffering
+/// per-lane fragments for a sequential merge pass.
+///
+/// Safety contract (checked by construction in the lane engine): every
+/// index is written by at most one lane, and no element is read until
+/// the wave barrier has joined every lane.
+pub(crate) struct SharedWrites<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: lanes only ever `write` — and to disjoint indices — so
+// handing the raw pointer to multiple threads cannot race; `T: Send`
+// keeps the written values themselves transferable.
+unsafe impl<T: Send> Sync for SharedWrites<T> {}
+
+impl<T: Copy> SharedWrites<T> {
+    pub(crate) fn new(slice: &mut [T]) -> SharedWrites<T> {
+        SharedWrites {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may read or write `index` concurrently. (`T:
+    /// Copy` means no destructor runs on the overwritten element.)
+    pub(crate) unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len, "lane wrote out of bounds");
+        // SAFETY: index is in bounds and, per the caller contract,
+        // this thread is the only one touching it.
+        unsafe { self.ptr.add(index).write(value) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::PromptGenerator;
+
+    #[test]
+    fn par_mode_from_jobs_matches_sweep_convention() {
+        assert_eq!(ParMode::from_jobs(0), ParMode::Sequential);
+        assert_eq!(ParMode::from_jobs(1), ParMode::Sequential);
+        assert_eq!(ParMode::from_jobs(2), ParMode::Threads(2));
+        assert_eq!(ParMode::from_jobs(8), ParMode::Threads(8));
+        assert_eq!(ParMode::Sequential.jobs(), 1);
+        assert_eq!(ParMode::Threads(4).jobs(), 4);
+    }
+
+    #[test]
+    fn route_table_matches_live_router_over_generated_prompts() {
+        for seed in [0xc1a5fe2u64, 1, 0xdead_beef] {
+            for n_experts in [1usize, 7, 150, 480] {
+                let router = Router::new(seed);
+                let table = RouteTable::build(&router, n_experts);
+                let mut gen = PromptGenerator::new(seed ^ 0x5eed, 512);
+                for p in gen.batch(512) {
+                    assert_eq!(
+                        table.route(&p),
+                        router.route(&p, n_experts),
+                        "table diverged for seed {seed:#x}, {n_experts} experts, prompt {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_covers_every_domain_and_id_class() {
+        // Exhaustive over the router's actual key space: every domain ×
+        // id-residue pair, with token counts varied to prove routing
+        // never keys on prompt length.
+        let router = Router::new(0xc1a5fe2);
+        let table = RouteTable::build(&router, 120);
+        for &domain in &Domain::ALL {
+            for id in 0..64u64 {
+                for tokens in [1usize, 128, 4096] {
+                    let p = Prompt { id, domain, tokens };
+                    assert_eq!(table.route(&p), router.route(&p, 120));
+                }
+            }
+        }
+    }
+}

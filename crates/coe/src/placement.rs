@@ -563,6 +563,23 @@ mod tests {
     }
 
     #[test]
+    fn repeated_expert_in_one_wave_counts_once() {
+        // A wave that routes every slot to the same expert (one hot
+        // domain) must count that expert once — presence is per wave,
+        // not per slot — and must not record a self co-activation.
+        let mut stats = ExpertStats::new(4, 0.5);
+        stats.observe_wave(&[2, 2, 2, 2]);
+        assert_eq!(stats.waves(), 1);
+        assert_eq!(stats.hit_count(2), 1, "duplicates collapse per wave");
+        assert_eq!(stats.co_activations(2, 2), 0, "no self co-activation");
+        // The EWMA saw one wave with the expert present, nothing more.
+        assert!((stats.rate(2) - 0.5).abs() < 1e-9);
+        stats.observe_wave(&[2, 2]);
+        assert_eq!(stats.hit_count(2), 2);
+        assert_eq!(stats.co_activations(2, 2), 0);
+    }
+
+    #[test]
     fn coactivation_lifts_predicted_probability() {
         let mut stats = ExpertStats::new(4, 0.5);
         // 0 and 3 always fire together; 3 alone would predict itself,

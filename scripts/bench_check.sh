@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Continuous-benchmark regression gate. Regenerates the tracked-metric
 # snapshot (or takes a pre-generated one as $1) and compares it against
-# the committed BENCH_PR7.json baseline; exits non-zero if any tracked
+# the committed BENCH_PR9.json baseline; exits non-zero if any tracked
 # metric drifts beyond its tolerance. CI runs exactly this script.
-# Wall-clock timings (sweep at 1 job vs N jobs, host cores) ride along
-# as info entries, which are recorded but never compared.
+# Wall-clock timings (sweep at 1 job vs N jobs, intra-run lane timings,
+# host cores) ride along as info entries, which are recorded but never
+# compared.
 #
 # Usage:
 #   scripts/bench_check.sh                  # regenerate current snapshot in-process
@@ -12,7 +13,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_PR7.json
+BASELINE=BENCH_PR9.json
 if [[ ! -f "$BASELINE" ]]; then
   echo "missing baseline $BASELINE — generate one with: cargo run --release -p sn-bench --bin repro -- --bench-json $BASELINE" >&2
   exit 1

@@ -11,6 +11,8 @@
 //! a fresh state from its factory, so the verdict (and the reported
 //! minimal reproduction) is identical for every `jobs` value.
 
+pub mod topology;
+
 /// Deterministic splitmix64 case generator, seed-stable across runs and
 /// platforms.
 pub struct CaseRng {

@@ -6,6 +6,7 @@
 
 mod common;
 
+use common::topology::ClusterTopology;
 use common::{check_cases, CaseRng};
 use samba_coe::coe::scheduler::{ArrivalProcess, OnlineReport, SchedulerConfig};
 use samba_coe::coe::{ExpertLibrary, Prompt, SambaCoeNode};
@@ -345,6 +346,48 @@ fn property_queue_delay_is_never_negative() {
                 if r.queue_delay().as_secs() < 0.0 {
                     return Err(format!("negative queue delay on request {}", r.index));
                 }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The conservation laws again, but with the node shape drawn from the
+/// shared topology generator: library size and compiled graph length
+/// vary per case instead of being pinned to one 40-expert node, so the
+/// scheduler's accounting is proven across the same topology space the
+/// `intra_diff` harness sweeps.
+#[test]
+fn property_conservation_holds_across_generated_topologies() {
+    check_cases(
+        "conservation across generated topologies",
+        100,
+        0x70b0_a109,
+        JOBS,
+        |rng| (ClusterTopology::generate(rng), gen_case(rng)),
+        |(t, c)| {
+            let mut out: Vec<(ClusterTopology, SchedCase)> =
+                t.shrink().into_iter().map(|t2| (t2, *c)).collect();
+            out.extend(shrink_case(c).into_iter().map(|c2| (*t, c2)));
+            out
+        },
+        || (),
+        |(), (topology, c)| {
+            let mut node = topology.build_node();
+            let out = run_case(&mut node, c);
+            if out.records.len() != c.n_requests {
+                return Err(format!(
+                    "{} records for {} requests on {topology:?}",
+                    out.records.len(),
+                    c.n_requests
+                ));
+            }
+            let want = c.n_requests * c.output_tokens.max(1);
+            if out.total_output_tokens() != want {
+                return Err(format!(
+                    "expected {want} output tokens, got {} on {topology:?}",
+                    out.total_output_tokens()
+                ));
             }
             Ok(())
         },

@@ -9,14 +9,14 @@
 
 mod common;
 
+use common::topology::ClusterTopology;
 use common::{check_cases, CaseRng};
 use samba_coe::coe::scheduler::ArrivalPattern;
 use samba_coe::coe::{
-    ClassPolicy, CoeCluster, ExpertLibrary, RateLimit, ScaleDecision, ShedReason, SloClass,
-    TenancyConfig, TenantSpec,
+    ClassPolicy, RateLimit, ScaleDecision, ShedReason, SloClass, TenancyConfig, TenantSpec,
 };
 use samba_coe::faults::ChaosSchedule;
-use sn_arch::{NodeSpec, TimeSecs};
+use sn_arch::TimeSecs;
 use sn_bench::tenants;
 
 const CASES: usize = 150;
@@ -118,9 +118,13 @@ fn chaos_scenario_is_bit_reproducible() {
     assert_eq!(a, b, "same seed, same report, to the last shed record");
 }
 
-/// One generated tenancy scenario for the conservation property.
+/// One generated tenancy scenario for the conservation property. The
+/// cluster shape comes from the shared topology generator, so the
+/// conservation laws are proven over varied node counts, placements,
+/// and pre-damaged clusters — not one hand-picked two-node shape.
 #[derive(Debug, Clone)]
 struct TenancyCase {
+    topology: ClusterTopology,
     seed: u64,
     interactive_requests: usize,
     batch_requests: usize,
@@ -135,6 +139,7 @@ struct TenancyCase {
 
 fn generate_case(rng: &mut CaseRng) -> TenancyCase {
     TenancyCase {
+        topology: ClusterTopology::generate(rng),
         seed: rng.next_u64(),
         interactive_requests: rng.usize_in(0, 32),
         batch_requests: rng.usize_in(0, 24),
@@ -162,6 +167,11 @@ fn generate_case(rng: &mut CaseRng) -> TenancyCase {
 
 fn shrink_case(case: &TenancyCase) -> Vec<TenancyCase> {
     let mut out = Vec::new();
+    for topology in case.topology.shrink() {
+        let mut c = case.clone();
+        c.topology = topology;
+        out.push(c);
+    }
     if case.interactive_requests > 0 {
         let mut c = case.clone();
         c.interactive_requests /= 2;
@@ -186,11 +196,10 @@ fn shrink_case(case: &TenancyCase) -> Vec<TenancyCase> {
 }
 
 fn run_case(case: &TenancyCase) -> Result<(), String> {
-    let mut cluster = CoeCluster::new(NodeSpec::sn40l_node(), 2, ExpertLibrary::new(40), 512)
-        .map_err(|e| format!("cluster build failed: {e:?}"))?;
+    let mut cluster = case.topology.build();
     let config = TenancyConfig {
         seed: case.seed,
-        prompt_tokens: 512,
+        prompt_tokens: case.topology.prompt_tokens,
         wave_tokens: 8,
         per_node_slots: case.per_node_slots,
         interactive: ClassPolicy {
