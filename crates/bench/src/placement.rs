@@ -310,9 +310,18 @@ pub fn placement_report_seeded(seed: u64, case: PlacementCase) -> TenancyReport 
 /// exposed background transfers), against decode streaming the rest of
 /// the time. Deterministic: a pure function of the report.
 pub fn switch_bound_fraction(report: &TenancyReport) -> f64 {
+    switch_bound_fraction_for(report, SWEEP_EXPERTS)
+}
+
+/// [`switch_bound_fraction`] with an explicit expert-library size, so
+/// reports from scenarios other than this sweep's CoE-150 composition
+/// (e.g. the surrogate's exact spot checks over the tenants-style grid)
+/// classify against their own per-expert switch bytes. The arithmetic
+/// is identical — `switch_bound_fraction` is the `SWEEP_EXPERTS` case.
+pub fn switch_bound_fraction_for(report: &TenancyReport, experts: usize) -> f64 {
     let machine =
         MachineProfile::from_node(&NodeSpec::sn40l_node()).scale(report.final_nodes.max(1) as f64);
-    let expert_bytes = ExpertLibrary::new(SWEEP_EXPERTS).expert_bytes();
+    let expert_bytes = ExpertLibrary::new(experts).expert_bytes();
     let policy = report.policy.unwrap_or_default();
     let switch_time = report.switch_time + policy.transfer_exposed;
     let switch_bytes = expert_bytes.scale(report.expert_misses as f64)

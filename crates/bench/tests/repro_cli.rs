@@ -198,6 +198,74 @@ fn obs_flag_without_a_path_is_a_usage_error() {
 }
 
 #[test]
+fn bench_check_passes_vacuously_on_an_info_only_snapshot() {
+    // A snapshot whose rows are all info entries (no "tolerance" field)
+    // has nothing to gate: the comparison must skip every row and pass,
+    // not trip on the missing tracked metrics.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scripts/fixtures/info_only.json"
+    );
+    let out = repro()
+        .args(["--bench-check", fixture, fixture])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "info-only snapshot passes the gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("bench check PASSED"),
+        "the vacuous comparison still reports PASSED: {stdout}"
+    );
+}
+
+#[test]
+fn surrogate_report_is_byte_identical_across_jobs() {
+    let run = |jobs: &str| {
+        let out = repro()
+            .args(["--jobs", jobs, "surrogate"])
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "surrogate --jobs {jobs} succeeds"
+        );
+        out.stdout
+    };
+    let sequential = run("1");
+    assert_eq!(
+        sequential,
+        run("2"),
+        "surrogate output must not depend on --jobs"
+    );
+    let stdout = String::from_utf8_lossy(&sequential);
+    assert!(
+        stdout.contains("SURROGATE") && stdout.contains("calibration anchors"),
+        "surrogate prints the anchor table: {stdout}"
+    );
+    assert!(
+        stdout.contains("gate: PASS"),
+        "every spot-check error is within its committed budget: {stdout}"
+    );
+}
+
+#[test]
+fn usage_line_advertises_the_surrogate_mode() {
+    let out = repro().arg("nonsense").output().expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("surrogate"),
+        "usage line advertises the surrogate mode: {stderr}"
+    );
+}
+
+#[test]
 fn bench_check_without_baseline_is_a_usage_error() {
     let out = repro()
         .arg("--bench-check")

@@ -70,6 +70,6 @@ pub use scheduler::{
 pub use serving::{SambaCoeNode, ServeReport};
 pub use tenancy::{
     merged_stream, ClassPolicy, RateLimit, ShedReason, ShedRecord, SloClass, TenancyConfig,
-    TenancyReport, TenantRecord, TenantRequest, TenantSpec, TenantSummary,
+    TenancyReport, TenantRecord, TenantRequest, TenantSpec, TenantSummary, WaveFeature,
 };
 pub use workload::{TraceConfig, TraceGenerator};

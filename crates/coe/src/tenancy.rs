@@ -329,6 +329,43 @@ pub struct TenantSummary {
     pub latency_p99: TimeSecs,
 }
 
+/// Per-wave phase/occupancy snapshot recorded at every wave boundary
+/// of [`CoeCluster::serve_tenants`]-family runs. Pure readers of loop
+/// state — collecting them never perturbs the serving timeline, so the
+/// tracked report fields stay bit-identical with or without consumers.
+/// Downstream, `sn-surrogate` rolls these up into anchor features.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveFeature {
+    /// Wave index (0-based).
+    pub wave: usize,
+    /// Model time the wave started serving.
+    pub start: TimeSecs,
+    /// Wave latency after chaos stretching.
+    pub latency: TimeSecs,
+    /// Occupied slots this wave served.
+    pub slots: usize,
+    /// Slot capacity at composition time (`per_node_slots × healthy`).
+    pub capacity: usize,
+    /// Occupied slots holding interactive-class requests.
+    pub interactive_slots: usize,
+    /// Occupied slots holding batch-class requests.
+    pub batch_slots: usize,
+    /// Occupied slots running prefill (first chunk) vs pure decode.
+    pub prefill_slots: usize,
+    /// Interactive queue depth after composition.
+    pub queue_interactive: usize,
+    /// Batch queue depth after composition.
+    pub queue_batch: usize,
+    /// Healthy nodes when the wave completed.
+    pub healthy_nodes: usize,
+    /// Warm expert activations in this wave.
+    pub expert_hits: usize,
+    /// Cold expert activations in this wave.
+    pub expert_misses: usize,
+    /// Chaos fabric factor applied to the wave (1.0 = clean).
+    pub chaos_factor: f64,
+}
+
 /// Result of a multi-tenant serving run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TenancyReport {
@@ -370,6 +407,10 @@ pub struct TenancyReport {
     pub chaos_slowdowns: usize,
     /// Healthy nodes when the run returned.
     pub final_nodes: usize,
+    /// Per-wave phase/occupancy snapshots, one per executed wave (in
+    /// wave order). Collected unconditionally from loop state the run
+    /// already computes, so tracked metrics are unaffected.
+    pub wave_features: Vec<WaveFeature>,
     /// Tenant names and classes, index-aligned with record fields.
     pub tenants: Vec<(String, SloClass)>,
     /// The engine configuration the run used (carries the class SLO
@@ -691,6 +732,7 @@ impl CoeCluster {
         let mut records: Vec<TenantRecord> = Vec::new();
         let mut shed: Vec<ShedRecord> = Vec::new();
         let mut scale_events: Vec<ScaleEvent> = Vec::new();
+        let mut wave_features: Vec<WaveFeature> = Vec::new();
         let mut clock = TimeSecs::ZERO;
         let mut next_request = 0usize;
         let mut next_event = 0usize;
@@ -1036,6 +1078,13 @@ impl CoeCluster {
                     prefill: p.first_token.is_none(),
                 })
                 .collect();
+            // Composition counts for the per-wave feature snapshot —
+            // taken here because the settle loop consumes `wave`.
+            let interactive_slots = wave
+                .iter()
+                .filter(|p| p.class == SloClass::Interactive)
+                .count();
+            let prefill_slots = slots.iter().filter(|s| s.prefill).count();
             let outcome = match self.serve_wave(&slots, config.wave_tokens) {
                 Ok(outcome) => outcome,
                 Err(CoeError::NoHealthyNodes) => {
@@ -1223,6 +1272,26 @@ impl CoeCluster {
                 }
             }
 
+            // Per-wave feature snapshot: pure readers of state the loop
+            // already computed, recorded unconditionally so observed and
+            // blind runs carry identical streams.
+            wave_features.push(WaveFeature {
+                wave: waves - 1,
+                start: wave_start,
+                latency: wave_latency,
+                slots: slots.len(),
+                capacity,
+                interactive_slots,
+                batch_slots: slots.len() - interactive_slots,
+                prefill_slots,
+                queue_interactive: iq.len(),
+                queue_batch: bq.len(),
+                healthy_nodes: self.healthy_nodes(),
+                expert_hits: outcome.expert_hits,
+                expert_misses: outcome.expert_misses,
+                chaos_factor: factor,
+            });
+
             // Wave boundary: flush this wave's gauges into the telemetry
             // pipeline, evaluate alert rules, tick the flight recorder.
             // Pure readers of loop state — with obs disabled (or enabled)
@@ -1339,6 +1408,7 @@ impl CoeCluster {
             chaos_retransmits: retransmits,
             chaos_slowdowns: slowdowns,
             final_nodes: self.healthy_nodes(),
+            wave_features,
             tenants: tenants.iter().map(|t| (t.name.clone(), t.class)).collect(),
             config: config.clone(),
             policy: policies.as_deref().map(|p| p.report),

@@ -178,24 +178,21 @@ impl Obs {
         self.inner.is_some()
     }
 
-    /// Sets a labeled gauge for the current wave.
+    /// Sets a labeled gauge for the current wave. Allocation-free for a
+    /// series that already exists when `labels` is canonical (strictly
+    /// key-sorted) — the wave-boundary instrumentation hot path.
     #[inline]
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
         let Some(inner) = &self.inner else { return };
-        inner
-            .lock()
-            .registry
-            .gauge(SeriesKey::new(name, labels), value);
+        inner.lock().registry.gauge_parts(name, labels, value);
     }
 
-    /// Adds to a labeled counter's delta for the current wave.
+    /// Adds to a labeled counter's delta for the current wave. Same
+    /// allocation contract as [`Obs::gauge`].
     #[inline]
     pub fn add(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
         let Some(inner) = &self.inner else { return };
-        inner
-            .lock()
-            .registry
-            .add(SeriesKey::new(name, labels), delta);
+        inner.lock().registry.add_parts(name, labels, delta);
     }
 
     /// Records a flight-recorder entry (shed, crash, scale event, …).
@@ -446,6 +443,37 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"schema\":\"sn-obs/v1\""));
         assert!(json.contains("\"name\":\"shed\""));
+    }
+
+    #[test]
+    fn exports_are_byte_identical_across_label_orderings() {
+        // The borrowed-parts fast path (canonical labels) and the
+        // allocating fallback (unsorted / duplicate-key labels) must
+        // produce the same export byte-for-byte, so the wave-boundary
+        // allocation fix cannot change any recorded artifact.
+        let run = |labels_a: &[(&str, &str)], labels_b: &[(&str, &str)]| -> String {
+            let obs = Obs::enabled(ObsConfig::default());
+            for wave in 0..4usize {
+                obs.gauge("lat", labels_a, wave as f64);
+                obs.add("shed", labels_b, 1.0);
+                obs.gauge("depth", &[], 2.0 * wave as f64);
+                obs.end_wave(wave, TimeSecs::from_millis(wave as f64));
+            }
+            obs.finalize().unwrap().to_json()
+        };
+        let canonical = run(
+            &[("slo_class", "interactive"), ("tenant", "t0")],
+            &[("reason", "queue-full"), ("tenant", "t1")],
+        );
+        let permuted = run(
+            &[("tenant", "t0"), ("slo_class", "interactive")],
+            &[
+                ("tenant", "t1"),
+                ("reason", "zzz"),
+                ("reason", "queue-full"),
+            ],
+        );
+        assert_eq!(canonical, permuted);
     }
 
     #[test]

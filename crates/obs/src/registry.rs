@@ -5,14 +5,24 @@
 //! counter deltas (`add`); at the wave boundary [`MetricRegistry::sample`]
 //! flushes every touched gauge and every known counter (counters sample
 //! densely — 0.0 on untouched waves — so windowed rates over them are
-//! well-defined). Storage is a `BTreeMap`, so iteration order — and
-//! therefore every export — is a pure function of the recorded keys,
+//! well-defined). Storage is a key-sorted `Vec`, so iteration order —
+//! and therefore every export — is a pure function of the recorded keys,
 //! never of hash state.
+//!
+//! The recording hot path ([`MetricRegistry::gauge_parts`] /
+//! [`MetricRegistry::add_parts`]) looks a series up by *borrowed* name
+//! and label parts — a binary search comparing `&str` against the
+//! stored key — so the per-wave instrumentation in the serving loop
+//! allocates a [`SeriesKey`] only the first time a series is touched,
+//! not on every call. The fast path requires the label slice already in
+//! canonical form (strictly sorted by key, no duplicates); anything
+//! else falls back to the allocating [`SeriesKey::new`] normalization,
+//! so both paths produce byte-identical exports.
 
 use crate::series::{MetricKind, Sample, SeriesBuffer, SeriesKey};
 use serde::{Deserialize, Serialize};
 use sn_arch::TimeSecs;
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
 
 /// Sizing knobs for per-series storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,12 +52,39 @@ struct SeriesState {
     pending: Option<f64>,
 }
 
+/// Compares a stored key against borrowed (name, canonical labels)
+/// parts, consistent with `SeriesKey`'s derived `Ord` when the label
+/// slice is canonical (strictly key-sorted: key order then decides, as
+/// duplicates are impossible).
+fn cmp_parts(key: &SeriesKey, name: &str, labels: &[(&str, &str)]) -> Ordering {
+    match key.name.as_str().cmp(name) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    for (stored, part) in key.labels.pairs().iter().zip(labels) {
+        match (stored.0.as_str(), stored.1.as_str()).cmp(part) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    key.labels.pairs().len().cmp(&labels.len())
+}
+
+/// Whether a label slice is already in canonical form: strictly sorted
+/// by key, therefore duplicate-free. Canonical slices can skip the
+/// allocating sort/dedup normalization.
+fn is_canonical(labels: &[(&str, &str)]) -> bool {
+    labels.windows(2).all(|w| w[0].0 < w[1].0)
+}
+
 /// Deterministic labeled-series store. See the module docs for the
 /// sampling contract.
 #[derive(Debug, Clone)]
 pub struct MetricRegistry {
     config: RegistryConfig,
-    series: BTreeMap<SeriesKey, SeriesState>,
+    /// Sorted by key; binary-searched on both the owned-key and the
+    /// borrowed-parts paths.
+    series: Vec<(SeriesKey, SeriesState)>,
 }
 
 impl MetricRegistry {
@@ -55,16 +92,51 @@ impl MetricRegistry {
     pub fn new(config: RegistryConfig) -> Self {
         MetricRegistry {
             config,
-            series: BTreeMap::new(),
+            series: Vec::new(),
+        }
+    }
+
+    fn fresh_state(&self, kind: MetricKind) -> SeriesState {
+        SeriesState {
+            buffer: SeriesBuffer::new(kind, self.config.ring_capacity, self.config.recent_capacity),
+            pending: None,
         }
     }
 
     fn state(&mut self, key: SeriesKey, kind: MetricKind) -> &mut SeriesState {
-        let config = self.config;
-        self.series.entry(key).or_insert_with(|| SeriesState {
-            buffer: SeriesBuffer::new(kind, config.ring_capacity, config.recent_capacity),
-            pending: None,
-        })
+        let idx = match self.series.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => {
+                let state = self.fresh_state(kind);
+                self.series.insert(i, (key, state));
+                i
+            }
+        };
+        &mut self.series[idx].1
+    }
+
+    /// The hot-path lookup: finds (or creates) a series from borrowed
+    /// parts. Only called with canonical labels, so the comparison — and
+    /// a first-touch key construction — match `SeriesKey::new` exactly.
+    fn state_parts(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+    ) -> &mut SeriesState {
+        debug_assert!(is_canonical(labels));
+        let idx = match self
+            .series
+            .binary_search_by(|(k, _)| cmp_parts(k, name, labels))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                let state = self.fresh_state(kind);
+                self.series.insert(i, (SeriesKey::new(name, labels), state));
+                i
+            }
+        };
+        &mut self.series[idx].1
     }
 
     /// Sets a gauge for the current wave (last write in a wave wins).
@@ -78,10 +150,33 @@ impl MetricRegistry {
         state.pending = Some(state.pending.unwrap_or(0.0) + delta);
     }
 
+    /// [`MetricRegistry::gauge`] from borrowed parts: allocation-free
+    /// for an existing series when `labels` is canonical (strictly
+    /// key-sorted); falls back to the normalizing path otherwise.
+    pub fn gauge_parts(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if is_canonical(labels) {
+            self.state_parts(name, labels, MetricKind::Gauge).pending = Some(value);
+        } else {
+            self.gauge(SeriesKey::new(name, labels), value);
+        }
+    }
+
+    /// [`MetricRegistry::add`] from borrowed parts: allocation-free for
+    /// an existing series when `labels` is canonical (strictly
+    /// key-sorted); falls back to the normalizing path otherwise.
+    pub fn add_parts(&mut self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        if is_canonical(labels) {
+            let state = self.state_parts(name, labels, MetricKind::Counter);
+            state.pending = Some(state.pending.unwrap_or(0.0) + delta);
+        } else {
+            self.add(SeriesKey::new(name, labels), delta);
+        }
+    }
+
     /// Closes the wave: flushes touched gauges and all counters (dense)
     /// into their buffers, clearing pending values.
     pub fn sample(&mut self, wave: usize, t: TimeSecs) {
-        for state in self.series.values_mut() {
+        for (_, state) in self.series.iter_mut() {
             let value = match (state.buffer.kind(), state.pending.take()) {
                 (_, Some(v)) => v,
                 (MetricKind::Counter, None) => 0.0,
@@ -93,7 +188,10 @@ impl MetricRegistry {
 
     /// Looks up one series' buffer.
     pub fn buffer(&self, key: &SeriesKey) -> Option<&SeriesBuffer> {
-        self.series.get(key).map(|s| &s.buffer)
+        self.series
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| &self.series[i].1.buffer)
     }
 
     /// All series in deterministic (sorted-key) order.
@@ -154,6 +252,69 @@ mod tests {
         let vals: Vec<f64> = buf.recent().map(|s| s.value).collect();
         assert_eq!(vals, vec![2.0, 0.0, 2.0]);
         assert_eq!(buf.window_sum(3), 4.0);
+    }
+
+    /// Renders the full registry state — keys, kinds, and every recent
+    /// sample — so two registries can be compared byte-for-byte.
+    fn dump(reg: &MetricRegistry) -> String {
+        let mut out = String::new();
+        for (key, buf) in reg.iter() {
+            out.push_str(&format!("{} {:?}\n", key.render(), buf.kind()));
+            for s in buf.recent() {
+                out.push_str(&format!("  {} {:?} {:?}\n", s.wave, s.t, s.value));
+            }
+        }
+        out
+    }
+
+    /// One test recording: metric name, label slice, value.
+    type Recording<'a> = (&'a str, &'a [(&'a str, &'a str)], f64);
+
+    #[test]
+    fn parts_path_is_byte_identical_to_owned_key_path() {
+        // Same recordings through the borrowed-parts hot path (canonical,
+        // unsorted, and duplicate-key label slices) and through the
+        // allocating owned-key path must leave identical state.
+        let recordings: [Recording; 5] = [
+            (
+                "lat",
+                &[("slo_class", "interactive"), ("tenant", "t0")],
+                4.0,
+            ),
+            (
+                "lat",
+                &[("tenant", "t0"), ("slo_class", "interactive")],
+                7.0,
+            ),
+            ("depth", &[], 3.0),
+            ("shed", &[("reason", "queue-full"), ("tenant", "t1")], 2.0),
+            (
+                "shed",
+                &[
+                    ("tenant", "t1"),
+                    ("reason", "queue-full"),
+                    ("reason", "zzz"),
+                ],
+                1.0,
+            ),
+        ];
+        let mut via_parts = MetricRegistry::new(RegistryConfig::default());
+        let mut via_keys = MetricRegistry::new(RegistryConfig::default());
+        for (wave, &(name, labels, value)) in recordings.iter().enumerate() {
+            if name == "shed" {
+                via_parts.add_parts(name, labels, value);
+                via_keys.add(SeriesKey::new(name, labels), value);
+            } else {
+                via_parts.gauge_parts(name, labels, value);
+                via_keys.gauge(SeriesKey::new(name, labels), value);
+            }
+            via_parts.sample(wave, TimeSecs::from_millis(wave as f64));
+            via_keys.sample(wave, TimeSecs::from_millis(wave as f64));
+        }
+        assert_eq!(dump(&via_parts), dump(&via_keys));
+        // The unsorted and duplicate-key slices normalized onto the
+        // canonical series rather than creating new ones.
+        assert_eq!(via_parts.len(), 3);
     }
 
     #[test]

@@ -34,8 +34,9 @@ impl LabelSet {
         LabelSet(Vec::new())
     }
 
-    /// Builds a set from pairs; keys sort and deduplicate (last value
-    /// for a repeated key wins).
+    /// Builds a set from pairs; keys sort and deduplicate (pairs sort
+    /// by key then value and dedup keeps the first of each key's run,
+    /// so the smallest value for a repeated key wins).
     pub fn from_pairs(pairs: &[(&str, &str)]) -> Self {
         let mut v: Vec<(String, String)> = pairs
             .iter()

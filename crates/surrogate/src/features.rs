@@ -1,0 +1,504 @@
+//! Sweep-point configurations and the feature extractor.
+//!
+//! A [`SweepSpec`] is the *configuration* of one sweep point — cluster
+//! shape, tenant mix totals, load multiplier, a chaos-schedule summary,
+//! and policy flags — everything the analytical model is allowed to see
+//! *before* running anything. [`extract`] turns a spec plus the node's
+//! roofline constants into a fixed-width [`FeatureVector`]: utilization,
+//! memory-tier pressure, chaos severity, and scale terms the calibrator
+//! fits residual corrections over.
+//!
+//! Extraction is **total** (every spec yields finite features — zero
+//! capacity, zero requests, and zero-duration chaos windows all clamp
+//! rather than divide by zero) and **deterministic** (a pure function of
+//! the spec and node constants; no clocks, no randomness).
+
+use serde::{Deserialize, Serialize};
+use sn_arch::{Bytes, NodeSpec, TimeSecs};
+use sn_coe::{ExpertLibrary, TenancyReport};
+use sn_profile::MachineProfile;
+
+/// BF16 bytes of one expert's weights. Every library the sweeps build
+/// shares one architecture, so this is a constant of the model — not of
+/// the expert count — and the grid's hot path must not pay
+/// [`ExpertLibrary::new`]'s per-expert metadata allocation (hundreds of
+/// name strings per cell) just to read it.
+pub(crate) fn expert_weight_bytes() -> Bytes {
+    ExpertLibrary::new(1).expert_bytes()
+}
+
+/// Summary of a chaos schedule: the correlated outage window plus the
+/// degraded-fabric fault window, reduced to the scalars the analytical
+/// model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSummary {
+    /// Nodes the outage kills together (after clipping to the cluster:
+    /// an outage aimed at node 3 of a 2-node cluster kills nothing).
+    pub outage_nodes: usize,
+    /// Outage window start, in model time.
+    pub outage_start: TimeSecs,
+    /// Outage window end (crashed nodes restore here).
+    pub outage_end: TimeSecs,
+    /// End of the degraded-fabric fault window.
+    pub fabric_end: TimeSecs,
+    /// Fabric retransmit probability inside the window.
+    pub fail_rate: f64,
+    /// Fabric slowdown probability inside the window.
+    pub slow_rate: f64,
+    /// Fabric slowdown factor when a slow draw hits.
+    pub slow_factor: f64,
+}
+
+/// The configuration of one sweep point, as the surrogate sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Nodes the cluster starts with.
+    pub nodes: usize,
+    /// Decode slots per node per wave.
+    pub per_node_slots: usize,
+    /// Experts in the library.
+    pub experts: usize,
+    /// Prompt length of every request.
+    pub prompt_tokens: usize,
+    /// Decode tokens per wave chunk.
+    pub wave_tokens: usize,
+    /// Interactive requests offered across all tenants.
+    pub interactive_requests: usize,
+    /// Batch requests offered across all tenants.
+    pub batch_requests: usize,
+    /// Wave chunks per interactive request.
+    pub interactive_chunks: usize,
+    /// Wave chunks per batch request.
+    pub batch_chunks: usize,
+    /// Interactive admission-queue bound (sheds `queue-full` past it —
+    /// which caps how long a *completed* request can have waited).
+    pub interactive_queue_cap: usize,
+    /// Batch admission-queue bound.
+    pub batch_queue_cap: usize,
+    /// Interactive class deadline (sheds past it).
+    pub interactive_deadline: TimeSecs,
+    /// Interactive class SLO bound (goodput counts inside it).
+    pub interactive_slo: TimeSecs,
+    /// Batch class deadline.
+    pub batch_deadline: TimeSecs,
+    /// Batch class SLO bound.
+    pub batch_slo: TimeSecs,
+    /// Model-time span over which the arrival mix lands (0 for a pure
+    /// backlog that arrives at t = 0).
+    pub arrival_span: TimeSecs,
+    /// Offered-load multiplier the request counts were scaled by.
+    pub load: f64,
+    /// Whether the stats-driven placement/prefetch/KV policy bundle is
+    /// enabled.
+    pub policies: bool,
+    /// Chaos summary, when the point replays a schedule.
+    pub chaos: Option<ChaosSummary>,
+}
+
+/// Number of features [`extract`] produces.
+pub const NUM_FEATURES: usize = 12;
+
+/// Names of the extracted features, index-aligned with
+/// [`FeatureVector::values`].
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "total_chunks",
+    "wave_capacity",
+    "est_waves",
+    "interactive_utilization",
+    "offered_log",
+    "hbm_resident_fraction",
+    "miss_pressure",
+    "switch_ms_per_miss",
+    "outage_severity",
+    "fabric_stretch",
+    "load",
+    "policies",
+];
+
+/// Fixed-width feature vector for one sweep point. Always finite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// Feature values, index-aligned with [`FEATURE_NAMES`].
+    pub values: [f64; NUM_FEATURES],
+}
+
+impl FeatureVector {
+    /// Looks a feature up by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        FEATURE_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// Whether every feature is finite (extraction guarantees it; the
+    /// property suites assert it).
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Total wave chunks a spec offers (`requests × chunks`, both classes).
+pub fn total_chunks(spec: &SweepSpec) -> f64 {
+    (spec.interactive_requests * spec.interactive_chunks + spec.batch_requests * spec.batch_chunks)
+        as f64
+}
+
+/// Extracts the feature vector for one sweep point against a node's
+/// roofline constants. Total and deterministic — see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use sn_arch::{NodeSpec, TimeSecs};
+/// use sn_surrogate::{extract, SweepSpec, FEATURE_NAMES};
+///
+/// let spec = SweepSpec {
+///     nodes: 4,
+///     per_node_slots: 4,
+///     experts: 120,
+///     prompt_tokens: 512,
+///     wave_tokens: 8,
+///     interactive_requests: 96,
+///     batch_requests: 48,
+///     interactive_chunks: 1,
+///     batch_chunks: 4,
+///     interactive_queue_cap: 64,
+///     batch_queue_cap: 256,
+///     interactive_deadline: TimeSecs::from_secs(2.0),
+///     interactive_slo: TimeSecs::from_secs(1.0),
+///     batch_deadline: TimeSecs::from_secs(30.0),
+///     batch_slo: TimeSecs::from_secs(10.0),
+///     arrival_span: TimeSecs::from_secs(0.8),
+///     load: 1.0,
+///     policies: false,
+///     chaos: None,
+/// };
+/// let features = extract(&spec, &NodeSpec::sn40l_node());
+/// assert!(features.all_finite());
+/// assert_eq!(features.get("total_chunks"), Some(96.0 + 48.0 * 4.0));
+/// assert_eq!(FEATURE_NAMES.len(), features.values.len());
+/// ```
+pub fn extract(spec: &SweepSpec, node: &NodeSpec) -> FeatureVector {
+    let machine = MachineProfile::from_node(node);
+    let chunks = total_chunks(spec);
+    let capacity = (spec.nodes.max(1) * spec.per_node_slots.max(1)) as f64;
+    let est_waves = (chunks / capacity).max(1.0);
+
+    // Per-expert weight size and how many experts one node's HBM can
+    // keep resident — the memory-tier pressure terms.
+    let expert_bytes = expert_weight_bytes();
+    let resident_per_node = if expert_bytes.as_f64() > 0.0 {
+        node.hbm_capacity().as_f64() / expert_bytes.as_f64()
+    } else {
+        spec.experts as f64
+    };
+    let experts_per_node = (spec.experts.max(1) as f64 / spec.nodes.max(1) as f64).max(1.0);
+    let resident_fraction = (resident_per_node / experts_per_node).clamp(0.0, 1.0);
+    let pressure = miss_pressure(spec, node);
+    let switch_per_miss = expert_bytes / machine.ddr_bandwidth;
+
+    // Interactive utilization: offered interactive chunk rate against
+    // the cluster's wave service rate. A zero arrival span (pure
+    // backlog) saturates the term at its clamp.
+    let tau = wave_latency_estimate(spec, node);
+    let service_rate = if tau.as_secs() > 0.0 {
+        capacity / tau.as_secs()
+    } else {
+        f64::MAX
+    };
+    let interactive_chunks = (spec.interactive_requests * spec.interactive_chunks.max(1)) as f64;
+    let span = spec.arrival_span.as_secs();
+    let offered_rate = if span > 0.0 {
+        interactive_chunks / span
+    } else if interactive_chunks > 0.0 {
+        f64::MAX
+    } else {
+        0.0
+    };
+    let utilization = if service_rate > 0.0 {
+        (offered_rate / service_rate).min(8.0)
+    } else {
+        8.0
+    };
+
+    // Chaos severity against a two-pass makespan estimate, so a window
+    // that outlives the run doesn't over-count.
+    let horizon = (span + est_waves * tau.as_secs()).max(1e-9);
+    let (outage_severity, fabric_stretch) = match &spec.chaos {
+        None => (0.0, 1.0),
+        Some(c) => {
+            let outage = overlap(c.outage_start, c.outage_end, horizon)
+                * (c.outage_nodes.min(spec.nodes) as f64 / spec.nodes.max(1) as f64);
+            let window = overlap(c.outage_start, c.fabric_end, horizon);
+            let stretch =
+                1.0 + window * (c.fail_rate + c.slow_rate * (c.slow_factor - 1.0).max(0.0));
+            (outage.clamp(0.0, 1.0), stretch.max(1.0))
+        }
+    };
+
+    FeatureVector {
+        values: [
+            chunks,
+            capacity,
+            est_waves,
+            utilization,
+            (1.0 + chunks).ln(),
+            resident_fraction,
+            pressure,
+            switch_per_miss.as_secs() * 1e3,
+            outage_severity,
+            fabric_stretch,
+            spec.load,
+            if spec.policies { 1.0 } else { 0.0 },
+        ],
+    }
+}
+
+/// Fraction of `[0, horizon]` a `[start, end]` window covers (0 on a
+/// degenerate or out-of-range window).
+fn overlap(start: TimeSecs, end: TimeSecs, horizon: f64) -> f64 {
+    if horizon <= 0.0 {
+        return 0.0;
+    }
+    let s = start.as_secs().clamp(0.0, horizon);
+    let e = end.as_secs().clamp(0.0, horizon);
+    ((e - s) / horizon).clamp(0.0, 1.0)
+}
+
+/// Expected cold (DDR→HBM-switching) expert activations across a whole
+/// run: the *compulsory* misses — distinct experts the request mix
+/// touches at all, a coupon-collector expectation over uniform routing —
+/// plus *capacity* thrash whenever the per-node active set exceeds what
+/// HBM keeps resident. Bounded by the total activation count (one
+/// activation per served chunk).
+///
+/// # Examples
+///
+/// ```
+/// use sn_arch::{NodeSpec, TimeSecs};
+/// use sn_surrogate::{expected_misses, total_chunks, SweepSpec};
+///
+/// let spec = SweepSpec {
+///     nodes: 4,
+///     per_node_slots: 4,
+///     experts: 120,
+///     prompt_tokens: 512,
+///     wave_tokens: 8,
+///     interactive_requests: 96,
+///     batch_requests: 48,
+///     interactive_chunks: 1,
+///     batch_chunks: 4,
+///     interactive_queue_cap: 64,
+///     batch_queue_cap: 256,
+///     interactive_deadline: TimeSecs::from_secs(2.0),
+///     interactive_slo: TimeSecs::from_secs(1.0),
+///     batch_deadline: TimeSecs::from_secs(30.0),
+///     batch_slo: TimeSecs::from_secs(10.0),
+///     arrival_span: TimeSecs::from_secs(0.8),
+///     load: 1.0,
+///     policies: false,
+///     chaos: None,
+/// };
+/// let node = NodeSpec::sn40l_node();
+/// let misses = expected_misses(&spec, &node);
+/// assert!(misses > 0.0 && misses <= total_chunks(&spec));
+///
+/// // No offered work, no misses.
+/// let mut idle = spec;
+/// idle.interactive_requests = 0;
+/// idle.batch_requests = 0;
+/// assert_eq!(expected_misses(&idle, &node), 0.0);
+/// ```
+pub fn expected_misses(spec: &SweepSpec, node: &NodeSpec) -> f64 {
+    let experts = spec.experts.max(1) as f64;
+    let requests = (spec.interactive_requests + spec.batch_requests) as f64;
+    let chunks = total_chunks(spec);
+    if chunks <= 0.0 {
+        return 0.0;
+    }
+    let distinct = experts * (1.0 - (-requests / experts).exp());
+    let thrash = miss_pressure(spec, node) * chunks;
+    (distinct + thrash).min(chunks)
+}
+
+/// Capacity-thrash share of activations: zero while one node's HBM
+/// holds its active set, climbing toward 1 as the per-wave working set
+/// outgrows residency (the placement sweep's regime).
+pub(crate) fn miss_pressure(spec: &SweepSpec, node: &NodeSpec) -> f64 {
+    let expert_bytes = expert_weight_bytes();
+    let experts_per_node = (spec.experts.max(1) as f64 / spec.nodes.max(1) as f64).max(1.0);
+    let active_per_node = (spec.per_node_slots.max(1) as f64).min(experts_per_node);
+    let resident_per_node = if expert_bytes.as_f64() > 0.0 {
+        node.hbm_capacity().as_f64() / expert_bytes.as_f64()
+    } else {
+        experts_per_node
+    };
+    (1.0 - (resident_per_node / active_per_node).min(1.0)).clamp(0.0, 1.0)
+}
+
+/// The base analytical wave-latency estimate: decode streams the wave's
+/// active expert weights from HBM token by token, plus the expected
+/// per-node DDR→HBM switch cost of the wave's share of the run's cold
+/// activations.
+pub(crate) fn wave_latency_estimate(spec: &SweepSpec, node: &NodeSpec) -> TimeSecs {
+    let machine = MachineProfile::from_node(node);
+    let expert_bytes = expert_weight_bytes();
+    let experts_per_node = (spec.experts.max(1) as f64 / spec.nodes.max(1) as f64).max(1.0);
+    let active_per_node = (spec.per_node_slots.max(1) as f64).min(experts_per_node);
+    let decode_bytes = expert_bytes.as_f64() * active_per_node * spec.wave_tokens.max(1) as f64;
+    let decode_secs = decode_bytes / node.effective_hbm_bandwidth().as_bytes_per_s().max(1.0);
+    let capacity = (spec.nodes.max(1) * spec.per_node_slots.max(1)) as f64;
+    let est_waves = (total_chunks(spec) / capacity).max(1.0);
+    let misses_per_node_wave = expected_misses(spec, node) / (est_waves * spec.nodes.max(1) as f64);
+    let switch_secs = misses_per_node_wave * (expert_bytes / machine.ddr_bandwidth).as_secs();
+    TimeSecs::from_secs((decode_secs + switch_secs).max(1e-9))
+}
+
+/// Per-wave phase/occupancy roll-up over a [`TenancyReport`]'s wave
+/// feature stream — the exact-run view the surrogate's anchor tables
+/// print next to predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveSummary {
+    /// Waves the run executed.
+    pub waves: usize,
+    /// Mean occupied-slot fraction (`slots / capacity`) across waves.
+    pub mean_occupancy: f64,
+    /// Mean share of occupied slots running prefill (vs pure decode).
+    pub prefill_fraction: f64,
+    /// Share of waves served with fewer healthy nodes than the run's
+    /// maximum (the outage's wave-level footprint).
+    pub degraded_fraction: f64,
+    /// Share of waves stretched or retransmitted by a chaos fabric draw.
+    pub stretched_fraction: f64,
+    /// Mean wave latency, milliseconds.
+    pub mean_wave_ms: f64,
+}
+
+impl WaveSummary {
+    /// Summarizes a report's per-wave features. Total: an empty wave
+    /// stream (a run that never composed a wave) yields all-zero
+    /// fractions, never NaN.
+    pub fn from_report(report: &TenancyReport) -> WaveSummary {
+        let waves = report.wave_features.len();
+        if waves == 0 {
+            return WaveSummary {
+                waves: 0,
+                mean_occupancy: 0.0,
+                prefill_fraction: 0.0,
+                degraded_fraction: 0.0,
+                stretched_fraction: 0.0,
+                mean_wave_ms: 0.0,
+            };
+        }
+        let n = waves as f64;
+        let max_nodes = report
+            .wave_features
+            .iter()
+            .map(|w| w.healthy_nodes)
+            .max()
+            .unwrap_or(0);
+        let mut occupancy = 0.0;
+        let mut prefill = 0.0;
+        let mut degraded = 0usize;
+        let mut stretched = 0usize;
+        let mut latency_ms = 0.0;
+        for w in &report.wave_features {
+            if w.capacity > 0 {
+                occupancy += w.slots as f64 / w.capacity as f64;
+            }
+            if w.slots > 0 {
+                prefill += w.prefill_slots as f64 / w.slots as f64;
+            }
+            if w.healthy_nodes < max_nodes {
+                degraded += 1;
+            }
+            if w.chaos_factor != 1.0 {
+                stretched += 1;
+            }
+            latency_ms += w.latency.as_secs() * 1e3;
+        }
+        WaveSummary {
+            waves,
+            mean_occupancy: occupancy / n,
+            prefill_fraction: prefill / n,
+            degraded_fraction: degraded as f64 / n,
+            stretched_fraction: stretched as f64 / n,
+            mean_wave_ms: latency_ms / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> SweepSpec {
+        SweepSpec {
+            nodes: 4,
+            per_node_slots: 4,
+            experts: 120,
+            prompt_tokens: 512,
+            wave_tokens: 8,
+            interactive_requests: 96,
+            batch_requests: 48,
+            interactive_chunks: 1,
+            batch_chunks: 4,
+            interactive_queue_cap: 64,
+            batch_queue_cap: 256,
+            interactive_deadline: TimeSecs::from_secs(2.0),
+            interactive_slo: TimeSecs::from_secs(1.0),
+            batch_deadline: TimeSecs::from_secs(30.0),
+            batch_slo: TimeSecs::from_secs(10.0),
+            arrival_span: TimeSecs::from_secs(0.8),
+            load: 1.0,
+            policies: false,
+            chaos: None,
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let node = NodeSpec::sn40l_node();
+        let spec = base_spec();
+        assert_eq!(extract(&spec, &node), extract(&spec, &node));
+    }
+
+    #[test]
+    fn degenerate_specs_extract_finite() {
+        let node = NodeSpec::sn40l_node();
+        let mut empty = base_spec();
+        empty.interactive_requests = 0;
+        empty.batch_requests = 0;
+        empty.arrival_span = TimeSecs::ZERO;
+        assert!(extract(&empty, &node).all_finite());
+
+        let mut tiny = base_spec();
+        tiny.nodes = 1;
+        tiny.per_node_slots = 1;
+        tiny.experts = 1;
+        assert!(extract(&tiny, &node).all_finite());
+
+        let mut chaotic = base_spec();
+        chaotic.chaos = Some(ChaosSummary {
+            outage_nodes: 9,
+            outage_start: TimeSecs::from_secs(5.0),
+            outage_end: TimeSecs::from_secs(1.0), // inverted window
+            fabric_end: TimeSecs::ZERO,
+            fail_rate: 1.0,
+            slow_rate: 1.0,
+            slow_factor: 0.0, // slow draw "speeds up": clamps to no stretch
+        });
+        let f = extract(&chaotic, &node);
+        assert!(f.all_finite());
+        assert!(f.get("fabric_stretch").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn feature_lookup_by_name() {
+        let f = extract(&base_spec(), &NodeSpec::sn40l_node());
+        assert_eq!(f.get("load"), Some(1.0));
+        assert_eq!(f.get("policies"), Some(0.0));
+        assert_eq!(f.get("nope"), None);
+    }
+}

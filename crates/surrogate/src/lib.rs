@@ -1,0 +1,92 @@
+//! # sn-surrogate
+//!
+//! A calibrated analytical surrogate for the exact serving simulator:
+//! closed-form queueing + memory-tier predictions of the tracked bench
+//! metrics (per-class p99/goodput, HBM hit rate, switch-bound fraction,
+//! makespan), corrected by a deterministic least-squares fit against a
+//! small set of exact simulator runs. The point is scale: the exact
+//! engine affords a handful of sweep points per run, the surrogate
+//! predicts hundreds in milliseconds — and a seeded subset of those
+//! predictions is re-run exactly to gate drift (see `repro surrogate`
+//! in `sn-bench`).
+//!
+//! The pipeline is three pure functions plus a fit:
+//!
+//! 1. [`extract`] — sweep-point configuration ([`SweepSpec`]) + node
+//!    roofline constants → [`FeatureVector`];
+//! 2. [`predict_base`] — analytical queueing/memory-tier model →
+//!    uncalibrated [`MetricVector`];
+//! 3. [`Calibration::fit`] — ridge least squares over exact
+//!    [`Anchor`]s → per-metric residual corrections;
+//! 4. [`Calibration::apply`] — corrected prediction.
+//!
+//! Everything is total (degenerate specs clamp instead of dividing by
+//! zero) and deterministic (no clocks, no randomness, fixed-order
+//! accumulation), so surrogate grids are byte-identical at any
+//! `--jobs` fan-out.
+//!
+//! # Examples
+//!
+//! ```
+//! use sn_arch::{NodeSpec, TimeSecs};
+//! use sn_surrogate::{
+//!     extract, predict_base, Anchor, Calibration, SweepSpec,
+//! };
+//!
+//! let node = NodeSpec::sn40l_node();
+//! let spec_at = |load: usize| SweepSpec {
+//!     nodes: 4,
+//!     per_node_slots: 4,
+//!     experts: 120,
+//!     prompt_tokens: 512,
+//!     wave_tokens: 8,
+//!     interactive_requests: 96 * load,
+//!     batch_requests: 48 * load,
+//!     interactive_chunks: 1,
+//!     batch_chunks: 4,
+//!     interactive_queue_cap: 64,
+//!     batch_queue_cap: 256,
+//!     interactive_deadline: TimeSecs::from_secs(2.0),
+//!     interactive_slo: TimeSecs::from_secs(1.0),
+//!     batch_deadline: TimeSecs::from_secs(30.0),
+//!     batch_slo: TimeSecs::from_secs(10.0),
+//!     arrival_span: TimeSecs::from_secs(0.8),
+//!     load: load as f64,
+//!     policies: false,
+//!     chaos: None,
+//! };
+//!
+//! // Calibrate on "exact" anchors (here synthesized with a known bias),
+//! // then predict an unseen point.
+//! let anchors: Vec<Anchor> = [1usize, 2, 4]
+//!     .iter()
+//!     .map(|&load| {
+//!         let spec = spec_at(load);
+//!         let features = extract(&spec, &node);
+//!         let base = predict_base(&spec, &node);
+//!         let mut exact = base;
+//!         exact.values.iter_mut().for_each(|v| *v *= 1.1);
+//!         Anchor { spec, features, base, exact }
+//!     })
+//!     .collect();
+//! let calibration = Calibration::fit(&anchors);
+//!
+//! let unseen = spec_at(3);
+//! let predicted =
+//!     calibration.apply(&extract(&unseen, &node), &predict_base(&unseen, &node));
+//! assert!(predicted.all_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calib;
+mod features;
+mod model;
+
+pub use calib::{basis, metric_floor, relative_error, Anchor, Calibration, BASIS};
+pub use features::{
+    expected_misses, extract, total_chunks, ChaosSummary, FeatureVector, SweepSpec, WaveSummary,
+    FEATURE_NAMES, NUM_FEATURES,
+};
+pub use model::{predict_base, MetricVector, METRIC_NAMES, NUM_METRICS};

@@ -1,0 +1,374 @@
+//! The base analytical model: queueing + memory-tier prediction of the
+//! tracked bench metrics for one sweep point.
+//!
+//! The model is deliberately simple — a handful of closed-form terms
+//! built from the node's roofline constants ([`sn_profile::MachineProfile`])
+//! and the spec's offered work:
+//!
+//! - **wave service time** — decode streams the wave's active expert
+//!   weights from HBM (~2 ops/byte, §VI-B); cold activations pay the
+//!   DDR→HBM switch at the model-switch bandwidth;
+//! - **effective capacity** — the outage window removes its nodes for
+//!   its overlap with the run, the degraded-fabric window stretches
+//!   waves by the expected retransmit/slowdown factor;
+//! - **queueing** — interactive wait grows as ρ²/(1−ρ) against the wave
+//!   service rate, clamped at the class deadline (the exact engine sheds
+//!   there, so the observable p99 saturates);
+//! - **switch-bound share** — the predicted demand-switch seconds
+//!   against decode streaming the rest, classified through the same
+//!   [`sn_profile::ServeAttribution`] roofline rule the exact sweeps use.
+//!
+//! The point is not standalone accuracy — it is a *monotone, physical*
+//! base the calibrator's residual corrections can anchor to, so a small
+//! exact anchor set generalizes over a grid 100x larger.
+
+use crate::features::{self, SweepSpec};
+use serde::{Deserialize, Serialize};
+use sn_arch::{Bytes, Flops, NodeSpec, TimeSecs};
+use sn_profile::{Bound, MachineProfile, PhaseKind, PhaseSample, ServeAttribution};
+
+/// Number of metrics the surrogate predicts.
+pub const NUM_METRICS: usize = 7;
+
+/// Names of the predicted metrics, index-aligned with
+/// [`MetricVector::values`]. These are exactly the tracked bench
+/// metrics the exact sweeps record.
+pub const METRIC_NAMES: [&str; NUM_METRICS] = [
+    "interactive_p99_ms",
+    "batch_p99_ms",
+    "interactive_goodput_rps",
+    "batch_goodput_rps",
+    "hbm_hit_rate",
+    "switch_bound_fraction",
+    "makespan_ms",
+];
+
+/// One point's predicted (or exactly measured) metric values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricVector {
+    /// Metric values, index-aligned with [`METRIC_NAMES`].
+    pub values: [f64; NUM_METRICS],
+}
+
+impl MetricVector {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        METRIC_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// Whether every metric is finite.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
+    /// Clamps each metric into its physical range: times and rates
+    /// non-negative, fractions in `[0, 1]`.
+    pub fn clamp_physical(mut self) -> MetricVector {
+        for (i, v) in self.values.iter_mut().enumerate() {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+            *v = match METRIC_NAMES[i] {
+                "hbm_hit_rate" | "switch_bound_fraction" => v.clamp(0.0, 1.0),
+                _ => v.max(0.0),
+            };
+        }
+        self
+    }
+}
+
+/// Predicts the tracked metrics for one sweep point from the analytical
+/// model alone (no calibration). Deterministic and total: every spec
+/// yields finite, physically-clamped values.
+///
+/// # Examples
+///
+/// ```
+/// use sn_arch::{NodeSpec, TimeSecs};
+/// use sn_surrogate::{predict_base, SweepSpec, METRIC_NAMES};
+///
+/// let spec = SweepSpec {
+///     nodes: 4,
+///     per_node_slots: 4,
+///     experts: 120,
+///     prompt_tokens: 512,
+///     wave_tokens: 8,
+///     interactive_requests: 96,
+///     batch_requests: 48,
+///     interactive_chunks: 1,
+///     batch_chunks: 4,
+///     interactive_queue_cap: 64,
+///     batch_queue_cap: 256,
+///     interactive_deadline: TimeSecs::from_secs(2.0),
+///     interactive_slo: TimeSecs::from_secs(1.0),
+///     batch_deadline: TimeSecs::from_secs(30.0),
+///     batch_slo: TimeSecs::from_secs(10.0),
+///     arrival_span: TimeSecs::from_secs(0.8),
+///     load: 1.0,
+///     policies: false,
+///     chaos: None,
+/// };
+/// let base = predict_base(&spec, &NodeSpec::sn40l_node());
+/// assert!(base.all_finite());
+/// let hit = base.get("hbm_hit_rate").unwrap();
+/// assert!((0.0..=1.0).contains(&hit));
+/// assert_eq!(METRIC_NAMES.len(), base.values.len());
+/// ```
+pub fn predict_base(spec: &SweepSpec, node: &NodeSpec) -> MetricVector {
+    let machine = MachineProfile::from_node(node);
+    let expert_bytes = features::expert_weight_bytes();
+    let nodes = spec.nodes.max(1) as f64;
+    let capacity = nodes * spec.per_node_slots.max(1) as f64;
+    let chunks = features::total_chunks(spec);
+    let tau = features::wave_latency_estimate(spec, node).as_secs();
+    let span = spec.arrival_span.as_secs();
+
+    // Expected HBM hit rate: compulsory misses — the *distinct* experts
+    // the request mix touches, a coupon-collector expectation, so the
+    // hit rate naturally rises with load as repeat activations amortize
+    // the cold set — plus capacity thrash when the per-node active set
+    // exceeds what HBM keeps resident.
+    let experts = spec.experts.max(1) as f64;
+    let requests = (spec.interactive_requests + spec.batch_requests) as f64;
+    let distinct = experts * (1.0 - (-requests / experts).exp());
+    let pressure = features::miss_pressure(spec, node);
+    // A policy bundle (prefetch + replication) converts a share of the
+    // thrash back into hits; the residual fit tunes the exact share.
+    let pressure = if spec.policies {
+        pressure * 0.5
+    } else {
+        pressure
+    };
+    let est_waves = (chunks / capacity).max(1.0);
+    let misses = (distinct + pressure * chunks).min(chunks);
+    let hbm_hit_rate = (1.0 - misses / chunks.max(1.0)).clamp(0.0, 1.0);
+
+    // Chaos terms against a two-pass horizon: the outage removes
+    // capacity for its overlap, the fabric window stretches waves.
+    let mut horizon = (span + est_waves * tau).max(1e-9);
+    let mut stretch = 1.0;
+    let mut outage_loss = 0.0;
+    for _ in 0..2 {
+        (stretch, outage_loss) = match &spec.chaos {
+            None => (1.0, 0.0),
+            Some(c) => {
+                let outage_frac = window_fraction(c.outage_start, c.outage_end, horizon);
+                let loss = outage_frac * c.outage_nodes.min(spec.nodes) as f64 / nodes;
+                let fabric_frac = window_fraction(c.outage_start, c.fabric_end, horizon);
+                let s = 1.0
+                    + fabric_frac * (c.fail_rate + c.slow_rate * (c.slow_factor - 1.0).max(0.0));
+                (s.max(1.0), loss.clamp(0.0, 0.95))
+            }
+        };
+        let eff_capacity = (capacity * (1.0 - outage_loss)).max(1.0);
+        let waves_needed = (chunks / eff_capacity).max(1.0);
+        horizon = span.max(waves_needed * tau * stretch).max(1e-9);
+    }
+    let makespan_secs = horizon;
+    let tau_eff = tau * stretch;
+
+    // Interactive queueing: offered chunk rate against the effective
+    // wave service rate. Two valves bound the *observable* wait of a
+    // completed request: the admission queue never holds more than its
+    // cap (`queue-full` sheds the rest, so wait ≤ cap / drain rate) and
+    // the deadline sheds whatever blows it.
+    let interactive_chunks = (spec.interactive_requests * spec.interactive_chunks.max(1)) as f64;
+    // Interactive only gets its share of wave slots: the batch backlog
+    // competes for the same capacity over the whole drain, so the class
+    // drains at roughly its chunk share of the cluster rate.
+    let share_i = if chunks > 0.0 {
+        (interactive_chunks / chunks).clamp(0.05, 1.0)
+    } else {
+        1.0
+    };
+    let service_rate = (capacity * share_i * (1.0 - outage_loss)).max(1.0) / tau_eff.max(1e-9);
+    let rho = if span > 0.0 {
+        (interactive_chunks / span) / service_rate
+    } else if interactive_chunks > 0.0 {
+        2.0
+    } else {
+        0.0
+    };
+    // A request pays one prefill wave before its decode chunks.
+    let service_i = (1 + spec.interactive_chunks.max(1)) as f64 * tau_eff;
+    let queue_bound_i = spec.interactive_queue_cap.max(1) as f64 / service_rate.max(1e-9);
+    let wait_i = if rho < 1.0 {
+        tau_eff * rho * rho / (1.0 - rho).max(0.05)
+    } else {
+        f64::MAX
+    };
+    let wait_i = wait_i
+        .min(queue_bound_i)
+        .min(spec.interactive_deadline.as_secs());
+    let interactive_p99 =
+        (service_i + wait_i).min(spec.interactive_deadline.as_secs().max(service_i));
+
+    // Batch drains behind interactive: its tail sees most of the run.
+    let service_b = (1 + spec.batch_chunks.max(1)) as f64 * tau_eff;
+    let batch_p99 =
+        (0.8 * makespan_secs + service_b).min(spec.batch_deadline.as_secs().max(service_b));
+
+    // Goodput: completions inside the class SLO per second of makespan.
+    // Overload sheds interactive excess (the engine's deadline valve).
+    // The SLO attainment is a soft knee at 3x the bound: a p99 hovering
+    // near the SLO barely dents goodput (most of the distribution is
+    // well inside it), while a p99 blown past it by an order of
+    // magnitude — the thrashing placement regime — crushes it.
+    let completed_i = if rho > 1.0 {
+        spec.interactive_requests as f64 / rho
+    } else {
+        spec.interactive_requests as f64
+    };
+    let att_i =
+        1.0 / (1.0 + (interactive_p99 / (3.0 * spec.interactive_slo.as_secs()).max(1e-9)).powi(4));
+    let interactive_goodput = completed_i * att_i / makespan_secs.max(1e-9);
+    let att_b = 1.0 / (1.0 + (batch_p99 / (3.0 * spec.batch_slo.as_secs()).max(1e-9)).powi(4));
+    let batch_goodput = spec.batch_requests as f64 * att_b / makespan_secs.max(1e-9);
+
+    // Switch-bound share: predicted demand-switch seconds vs decode
+    // streaming, classified by the same roofline attribution rule the
+    // exact sweeps use (`sn-profile`).
+    let cluster = machine.scale(nodes);
+    let switch_time = TimeSecs::from_secs(
+        (misses * (expert_bytes / cluster.ddr_bandwidth).as_secs()).min(makespan_secs),
+    );
+    let switch_bytes = expert_bytes.scale(misses);
+    let serve_time = TimeSecs::from_secs((makespan_secs - switch_time.as_secs()).max(0.0));
+    let serve_bytes = cluster.hbm_bandwidth * serve_time;
+    let attribution = ServeAttribution::from_samples(
+        cluster,
+        vec![
+            PhaseSample {
+                kind: PhaseKind::Switching,
+                time: switch_time,
+                flops: Flops::ZERO,
+                hbm_bytes: switch_bytes,
+                ddr_bytes: switch_bytes,
+            },
+            PhaseSample {
+                kind: PhaseKind::Decode,
+                time: serve_time,
+                flops: Flops::new(serve_bytes.as_f64() * 2.0),
+                hbm_bytes: serve_bytes,
+                ddr_bytes: Bytes::ZERO,
+            },
+        ],
+    );
+    let switch_bound = attribution.bound_fraction(Bound::DdrBandwidth)
+        + attribution.bound_fraction(Bound::Switching);
+
+    MetricVector {
+        values: [
+            interactive_p99 * 1e3,
+            batch_p99 * 1e3,
+            interactive_goodput,
+            batch_goodput,
+            hbm_hit_rate,
+            switch_bound,
+            makespan_secs * 1e3,
+        ],
+    }
+    .clamp_physical()
+}
+
+/// Fraction of `[0, horizon]` covered by `[start, end]`.
+fn window_fraction(start: TimeSecs, end: TimeSecs, horizon: f64) -> f64 {
+    if horizon <= 0.0 {
+        return 0.0;
+    }
+    let s = start.as_secs().clamp(0.0, horizon);
+    let e = end.as_secs().clamp(0.0, horizon);
+    ((e - s) / horizon).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::ChaosSummary;
+
+    fn base_spec() -> SweepSpec {
+        SweepSpec {
+            nodes: 4,
+            per_node_slots: 4,
+            experts: 120,
+            prompt_tokens: 512,
+            wave_tokens: 8,
+            interactive_requests: 96,
+            batch_requests: 48,
+            interactive_chunks: 1,
+            batch_chunks: 4,
+            interactive_queue_cap: 64,
+            batch_queue_cap: 256,
+            interactive_deadline: TimeSecs::from_secs(2.0),
+            interactive_slo: TimeSecs::from_secs(1.0),
+            batch_deadline: TimeSecs::from_secs(30.0),
+            batch_slo: TimeSecs::from_secs(10.0),
+            arrival_span: TimeSecs::from_secs(0.8),
+            load: 1.0,
+            policies: false,
+            chaos: None,
+        }
+    }
+
+    #[test]
+    fn base_prediction_is_deterministic_and_physical() {
+        let node = NodeSpec::sn40l_node();
+        let spec = base_spec();
+        let a = predict_base(&spec, &node);
+        assert_eq!(a, predict_base(&spec, &node));
+        assert!(a.all_finite());
+        assert!((0.0..=1.0).contains(&a.get("hbm_hit_rate").unwrap()));
+        assert!((0.0..=1.0).contains(&a.get("switch_bound_fraction").unwrap()));
+        assert!(a.get("makespan_ms").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn chaos_worsens_the_prediction() {
+        let node = NodeSpec::sn40l_node();
+        let calm = predict_base(&base_spec(), &node);
+        let mut spec = base_spec();
+        spec.chaos = Some(ChaosSummary {
+            outage_nodes: 2,
+            outage_start: TimeSecs::from_secs(0.05),
+            outage_end: TimeSecs::from_secs(0.60),
+            fabric_end: TimeSecs::from_secs(1.20),
+            fail_rate: 0.10,
+            slow_rate: 0.25,
+            slow_factor: 1.5,
+        });
+        let chaotic = predict_base(&spec, &node);
+        assert!(
+            chaotic.get("makespan_ms").unwrap() >= calm.get("makespan_ms").unwrap(),
+            "losing nodes cannot speed the drain up"
+        );
+    }
+
+    #[test]
+    fn more_load_never_shrinks_makespan() {
+        let node = NodeSpec::sn40l_node();
+        let mut last = 0.0;
+        for mult in [1usize, 2, 4, 8] {
+            let mut spec = base_spec();
+            spec.interactive_requests *= mult;
+            spec.batch_requests *= mult;
+            let m = predict_base(&spec, &node).get("makespan_ms").unwrap();
+            assert!(m >= last, "makespan must be monotone in offered work");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn empty_spec_predicts_finite_zeroish_metrics() {
+        let node = NodeSpec::sn40l_node();
+        let mut spec = base_spec();
+        spec.interactive_requests = 0;
+        spec.batch_requests = 0;
+        spec.arrival_span = TimeSecs::ZERO;
+        let m = predict_base(&spec, &node);
+        assert!(m.all_finite());
+        assert_eq!(m.get("interactive_goodput_rps").unwrap(), 0.0);
+    }
+}

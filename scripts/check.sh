@@ -79,4 +79,14 @@ grep -q "resolved" /tmp/obs_jobs1.out
 grep -q '"schema":"sn-obs/v1"' /tmp/obs_jobs1.json
 rm -f /tmp/obs_jobs1.out /tmp/obs_jobs2.out /tmp/obs_jobs1.json /tmp/obs_check.json
 
+echo "==> repro surrogate smoke (calibrated grid + drift gate, --jobs parity)"
+./target/release/repro --jobs 1 surrogate > /tmp/surrogate_jobs1.out
+./target/release/repro --jobs 2 surrogate > /tmp/surrogate_jobs2.out
+if ! diff -u /tmp/surrogate_jobs1.out /tmp/surrogate_jobs2.out; then
+  echo "surrogate output differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+grep -q "gate: PASS" /tmp/surrogate_jobs1.out
+rm -f /tmp/surrogate_jobs1.out /tmp/surrogate_jobs2.out
+
 echo "All checks passed."

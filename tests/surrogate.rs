@@ -1,0 +1,175 @@
+//! Surrogate feature-extraction properties: over hundreds of generated
+//! sweep-point configurations — grown/degraded cluster topologies, empty
+//! waves, all-shed tenant mixes, single-node clusters, zero-chaos
+//! schedules, inverted chaos windows — extraction is *total* (every
+//! feature finite, every base-model metric finite and physically
+//! clamped) and *deterministic* (byte-identical on re-extraction), so
+//! the calibrated grid in `repro surrogate` can never be poisoned by a
+//! NaN feature or a run-order dependence.
+
+mod common;
+
+use common::topology::ClusterTopology;
+use common::{check_cases, CaseRng};
+use sn_arch::{NodeSpec, TimeSecs};
+use sn_surrogate::{expected_misses, extract, predict_base, total_chunks, ChaosSummary, SweepSpec};
+
+const CASES: usize = 250;
+const JOBS: usize = 4;
+const SEED: u64 = 0x5ee9_57a7_e001;
+
+/// Draws a sweep-point spec, reusing the shared topology generator for
+/// the cluster shape and layering the surrogate-specific knobs on top.
+/// Roughly one case in eight lands in each deliberate edge regime.
+fn generate_spec(rng: &mut CaseRng) -> SweepSpec {
+    let topo = ClusterTopology::generate(rng);
+    let nodes = if rng.usize_in(0, 8) == 0 {
+        1 // single-node cluster
+    } else {
+        topo.nodes + topo.grown_nodes
+    };
+    let (interactive_requests, batch_requests) = if rng.usize_in(0, 8) == 0 {
+        (0, 0) // empty waves: nothing offered at all
+    } else {
+        (rng.usize_in(0, 240), rng.usize_in(0, 120))
+    };
+    // All-shed tenants: requests offered, but the admission queues and
+    // deadlines are so tight every one of them sheds in the exact run.
+    let all_shed = rng.usize_in(0, 8) == 0;
+    let chaos = match rng.usize_in(0, 4) {
+        0 => None,
+        1 => Some(ChaosSummary {
+            // A scheduled-but-inert chaos pass: zero-duration windows,
+            // zero rates. Must behave exactly like a quiet fabric.
+            outage_nodes: 0,
+            outage_start: TimeSecs::ZERO,
+            outage_end: TimeSecs::ZERO,
+            fabric_end: TimeSecs::ZERO,
+            fail_rate: 0.0,
+            slow_rate: 0.0,
+            slow_factor: 1.0,
+        }),
+        _ => {
+            let start = rng.f64() * 10.0;
+            let end = rng.f64() * 10.0; // may invert: extraction clamps
+            Some(ChaosSummary {
+                outage_nodes: rng.usize_in(0, nodes + 2),
+                outage_start: TimeSecs::from_secs(start),
+                outage_end: TimeSecs::from_secs(end),
+                fabric_end: TimeSecs::from_secs(rng.f64() * 12.0),
+                fail_rate: rng.f64(),
+                slow_rate: rng.f64(),
+                slow_factor: rng.f64() * 4.0,
+            })
+        }
+    };
+    SweepSpec {
+        nodes,
+        per_node_slots: rng.usize_in(1, 9),
+        experts: topo.experts,
+        prompt_tokens: topo.prompt_tokens,
+        wave_tokens: [1, 8, 16][rng.usize_in(0, 3)],
+        interactive_requests,
+        batch_requests,
+        interactive_chunks: rng.usize_in(0, 4),
+        batch_chunks: rng.usize_in(0, 8),
+        interactive_queue_cap: if all_shed { 1 } else { rng.usize_in(1, 129) },
+        batch_queue_cap: if all_shed { 1 } else { rng.usize_in(1, 513) },
+        interactive_deadline: if all_shed {
+            TimeSecs::ZERO
+        } else {
+            TimeSecs::from_secs(0.5 + rng.f64() * 4.0)
+        },
+        interactive_slo: TimeSecs::from_secs(rng.f64() * 2.0),
+        batch_deadline: if all_shed {
+            TimeSecs::ZERO
+        } else {
+            TimeSecs::from_secs(5.0 + rng.f64() * 40.0)
+        },
+        batch_slo: TimeSecs::from_secs(rng.f64() * 15.0),
+        arrival_span: if rng.usize_in(0, 4) == 0 {
+            TimeSecs::ZERO // pure backlog
+        } else {
+            TimeSecs::from_secs(rng.f64() * 2.0)
+        },
+        load: rng.f64() * 8.0,
+        policies: rng.f64() < 0.5,
+        chaos,
+    }
+}
+
+/// Strictly simpler specs for the shrink loop: shed chaos and load
+/// first, then collapse the cluster and the library.
+fn shrink_spec(spec: &SweepSpec) -> Vec<SweepSpec> {
+    let mut out = Vec::new();
+    if spec.chaos.is_some() {
+        out.push(SweepSpec {
+            chaos: None,
+            ..*spec
+        });
+    }
+    if spec.interactive_requests + spec.batch_requests > 0 {
+        out.push(SweepSpec {
+            interactive_requests: 0,
+            batch_requests: 0,
+            ..*spec
+        });
+    }
+    if spec.nodes > 1 {
+        out.push(SweepSpec { nodes: 1, ..*spec });
+    }
+    if spec.experts > 1 {
+        out.push(SweepSpec {
+            experts: 1,
+            ..*spec
+        });
+    }
+    out
+}
+
+#[test]
+fn extraction_is_total_and_deterministic_over_generated_specs() {
+    check_cases(
+        "surrogate extraction total + deterministic",
+        CASES,
+        SEED,
+        JOBS,
+        generate_spec,
+        shrink_spec,
+        NodeSpec::sn40l_node,
+        |node, spec| {
+            let features = extract(spec, node);
+            if !features.all_finite() {
+                return Err(format!("non-finite feature vector: {features:?}"));
+            }
+            if extract(spec, node) != features {
+                return Err("re-extraction changed the feature vector".to_string());
+            }
+
+            let base = predict_base(spec, node);
+            if !base.all_finite() {
+                return Err(format!("non-finite base prediction: {base:?}"));
+            }
+            if predict_base(spec, node) != base {
+                return Err("re-prediction changed the base metrics".to_string());
+            }
+            if base.values.iter().any(|&v| v < 0.0) {
+                return Err(format!("negative base metric: {base:?}"));
+            }
+            let hit = base.get("hbm_hit_rate").expect("metric exists");
+            let switch_bound = base.get("switch_bound_fraction").expect("metric exists");
+            if !(0.0..=1.0).contains(&hit) || !(0.0..=1.0).contains(&switch_bound) {
+                return Err(format!(
+                    "fraction metric out of [0, 1]: hit {hit}, switch-bound {switch_bound}"
+                ));
+            }
+
+            let misses = expected_misses(spec, node);
+            let chunks = total_chunks(spec);
+            if !misses.is_finite() || misses < 0.0 || misses > chunks + 1e-9 {
+                return Err(format!("expected misses {misses} outside [0, {chunks}]"));
+            }
+            Ok(())
+        },
+    );
+}
